@@ -1,0 +1,73 @@
+// Extension study: EM lifetime under AC / bipolar stress vs. frequency.
+//
+// The paper builds on Tao et al. [21] ("the lifetime increases with the
+// frequency") and Abella & Vera [22] ("healing can increase the lifetime
+// by several orders of magnitude"). Our Korhonen solver reproduces the
+// mechanism: a 50% bipolar square wave cancels the average wind, and the
+// residual stress ripple shrinks as 1/sqrt(period), so above a crossover
+// frequency the line never reaches the critical stress at all.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "em/em_sensor.hpp"
+#include "em/korhonen.hpp"
+
+int main() {
+  using namespace dh;
+  using namespace dh::em;
+
+  std::printf("== EM lifetime vs. bipolar stress frequency (extension) "
+              "==\n   50%% duty square wave at +/-7.96 MA/cm^2, 230 C\n\n");
+
+  const auto wire = paper_wire();
+  const auto mat = paper_calibrated_em_material();
+  const auto t = paper_em_conditions::chamber();
+  const Seconds horizon = hours(50.0);
+
+  Table table({"half-period", "peak stress / critical", "nucleated?",
+               "lifetime vs DC"});
+  // DC baseline nucleation time.
+  double dc_nucleation = 0.0;
+  {
+    KorhonenSolver s{wire, mat};
+    while (!s.ever_nucleated()) {
+      s.step(paper_em_conditions::stress_density(), t, minutes(10.0));
+    }
+    dc_nucleation = s.elapsed().value();
+  }
+
+  for (const double half_period_min : {480.0, 240.0, 120.0, 30.0, 3.0}) {
+    KorhonenSolver s{wire, mat};
+    double peak = 0.0;
+    bool forward = true;
+    while (!s.ever_nucleated() && s.elapsed().value() < horizon.value()) {
+      s.step(forward ? paper_em_conditions::stress_density()
+                     : paper_em_conditions::reverse_density(),
+             t, minutes(half_period_min));
+      forward = !forward;
+      peak = std::max(peak, std::abs(s.stress_at(WireEnd::kStart).value()));
+      peak = std::max(peak, std::abs(s.stress_at(WireEnd::kEnd).value()));
+    }
+    std::string life;
+    if (s.ever_nucleated()) {
+      life = Table::num(s.elapsed().value() / dc_nucleation, 1) + "x";
+    } else {
+      life = "> " + Table::num(horizon.value() / dc_nucleation, 0) +
+             "x (immortal in window)";
+    }
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f min", half_period_min);
+    table.add_row({label,
+                   Table::num(peak / mat.critical_stress.value(), 2),
+                   s.ever_nucleated() ? "yes" : "no", life});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nDC nucleation: %.0f min. Peak ripple scales ~sqrt(half-period),\n"
+      "so faster alternation -> lower peak stress -> longer (eventually\n"
+      "unbounded) lifetime: the [21]/[22] frequency effect, and the\n"
+      "physics behind the paper's EM Active Recovery duty cycling.\n",
+      dc_nucleation / 60.0);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// EM lifetime statistics: a Monte-Carlo population of wires with
+// process spread, with and without scheduled EM active recovery. EM
+// budgets are set by the *early* percentiles of the lognormal TTF
+// population (one broken rail kills the chip), so the recovery benefit at
+// t0.1% matters more than the median shift.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "em/compact_em.hpp"
+#include "em/em_sensor.hpp"
+
+int main() {
+  using namespace dh;
+  using namespace dh::em;
+
+  std::printf("== EM TTF population: 400 wires, process spread, 230 C "
+              "accelerated ==\n\n");
+
+  const WireGeometry wire = paper_wire();
+  const EmMaterialParams nominal = paper_calibrated_em_material();
+  const Celsius t = paper_em_conditions::chamber();
+  Rng rng{2026};
+
+  const auto sample_ttf = [&](bool recovery, Rng& r) {
+    // Process spread: diffusivity and critical stress vary wire to wire.
+    EmMaterialParams m = nominal;
+    m.d0_m2_per_s *= r.lognormal(0.0, 0.25);
+    m.critical_stress = Pascals{nominal.critical_stress.value() *
+                                r.lognormal(0.0, 0.10)};
+    CompactEm em{CompactEmParams{.wire = wire, .material = m}};
+    const Seconds fwd = minutes(60.0);
+    const Seconds rev = minutes(15.0);
+    double elapsed = 0.0;
+    const double horizon = hours(400.0).value();
+    while (!em.broken() && elapsed < horizon) {
+      em.step(paper_em_conditions::stress_density(), t, fwd);
+      elapsed += fwd.value();
+      if (recovery && !em.broken()) {
+        em.step(paper_em_conditions::reverse_density(), t, rev);
+        elapsed += rev.value();
+      }
+    }
+    return em.broken() ? elapsed : horizon;
+  };
+
+  std::vector<double> base, healed;
+  int base_survived = 0, healed_survived = 0;
+  for (int i = 0; i < 400; ++i) {
+    Rng r1 = rng.fork();
+    Rng r2 = r1;  // identical process draw for the pair
+    const double tb = sample_ttf(false, r1);
+    const double th = sample_ttf(true, r2);
+    base.push_back(tb);
+    healed.push_back(th);
+    if (tb >= hours(400.0).value()) ++base_survived;
+    if (th >= hours(400.0).value()) ++healed_survived;
+  }
+
+  const auto row = [&](const char* name, std::vector<double>& xs,
+                       int survived) {
+    return std::vector<std::string>{
+        name, Table::num(stats::percentile(xs, 0.001) / 3600.0, 1),
+        Table::num(stats::percentile(xs, 0.01) / 3600.0, 1),
+        Table::num(stats::median(xs) / 3600.0, 1),
+        std::to_string(survived) + "/400"};
+  };
+  Table table({"population", "t0.1% (h)", "t1% (h)", "t50 (h)",
+               "survived 400h window"});
+  table.add_row(row("constant stress", base, base_survived));
+  table.add_row(row("with 60:15 recovery duty", healed, healed_survived));
+  table.print(std::cout);
+
+  // Lognormal fit of the failing portion of the baseline (Black's view).
+  std::vector<double> failures;
+  for (const double x : base) {
+    if (x < hours(400.0).value()) failures.push_back(x);
+  }
+  if (failures.size() >= 10) {
+    const auto fit = stats::fit_lognormal(failures);
+    std::printf("\nbaseline failures fit lognormal: t50 = %.1f h, sigma = "
+                "%.2f (the classical Black/lognormal EM picture)\n",
+                fit.t50() / 3600.0, fit.sigma);
+  }
+  std::printf(
+      "\nScheduled recovery moves the *whole distribution* out — including\n"
+      "the early percentiles that set design budgets — rather than only\n"
+      "the median, because it attacks stress buildup before nucleation.\n");
+  return 0;
+}

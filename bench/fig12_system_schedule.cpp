@@ -1,0 +1,103 @@
+// Reproduces Fig. 12(b): "Illustration of periodic scheduled EM/BTI
+// active recovery" — the system-level payoff. We simulate a hot many-core
+// chip over two years under different recovery policies and report the
+// timing guardband each policy requires, the degradation-vs-time series
+// (the sawtooth of Fig. 12b), and the cost side (availability, energy).
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sched/system_sim.hpp"
+
+namespace {
+
+dh::sched::SystemParams hot_chip() {
+  using namespace dh;
+  using namespace dh::sched;
+  SystemParams p;
+  p.rows = 4;
+  p.cols = 4;
+  p.quantum = hours(6.0);
+  p.workload.kind = WorkloadKind::kDiurnal;
+  p.workload.utilization = 0.80;
+  p.workload.period = hours(24.0);
+  p.core.dynamic_power_peak = Watts{2.2};
+  p.thermal.ambient = Celsius{55.0};
+  p.thermal.vertical_g_w_per_k = 0.07;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dh;
+  using namespace dh::sched;
+
+  std::printf("== Fig. 12: system-level scheduled recovery, 4x4 cores, "
+              "2 years ==\n\n");
+
+  struct Entry {
+    const char* label;
+    std::unique_ptr<RecoveryPolicy> policy;
+  };
+  Entry entries[] = {
+      {"worst-case (no recovery)", make_no_recovery_policy()},
+      {"passive idle only", make_passive_idle_policy()},
+      {"periodic active (25%)",
+       make_periodic_active_policy({.period = hours(24.0),
+                                    .bti_recovery_fraction = 0.25,
+                                    .em_recovery_duty = 0.2})},
+      {"adaptive sensor-driven",
+       make_adaptive_sensor_policy({.threshold = Volts{0.005},
+                                    .release = Volts{0.002},
+                                    .em_recovery_duty = 0.2})},
+      {"dark-silicon rotation",
+       make_dark_silicon_policy({.spares = 2,
+                                 .rotation_period = hours(6.0),
+                                 .em_recovery_duty = 0.2})},
+  };
+
+  Table table({"policy", "guardband", "margin vs worst-case",
+               "availability", "throughput", "PDN voids", "energy (MJ)"});
+  double worst_case = 0.0;
+  std::vector<TimeSeries> traces;
+  for (auto& e : entries) {
+    SystemSimulator sim{hot_chip(), std::move(e.policy)};
+    sim.run(years(2.0));
+    const SystemSummary s = sim.summary();
+    if (worst_case == 0.0) worst_case = s.guardband_fraction;
+    table.add_row(
+        {e.label, Table::pct(s.guardband_fraction, 2),
+         Table::num(100.0 * (1.0 - s.guardband_fraction / worst_case), 0) +
+             "% smaller",
+         Table::pct(s.availability, 1),
+         Table::num(s.mean_throughput, 2),
+         std::to_string(s.pdn_stats.nucleated_segments),
+         Table::num(s.energy_joules / 1e6, 0)});
+    TimeSeries tr = sim.degradation_trace().resampled(600).scaled(100.0);
+    tr.set_name(e.label);
+    traces.push_back(std::move(tr));
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nworst-core degradation vs time (%%) — Fig. 12b's margin picture:\n");
+  std::printf("%10s %26s %26s %26s\n", "day", traces[0].name().c_str(),
+              traces[2].name().c_str(), traces[3].name().c_str());
+  for (int day = 45; day <= 730; day += 45) {
+    const Seconds t = days(day);
+    std::printf("%10d %26.2f %26.2f %26.2f\n", day, traces[0].sample(t),
+                traces[2].sample(t), traces[3].sample(t));
+  }
+
+  std::printf(
+      "\nThe scheduled policies keep the chip in a 'refreshing' mode: the\n"
+      "wearout guardband a designer must provision shrinks by the margin\n"
+      "column — the paper's new design dimension. Two honest notes from\n"
+      "the reproduction: (1) recovery windows cost availability, which is\n"
+      "the knob the designer trades; (2) naive dark-silicon rotation can\n"
+      "lose — migrating the displaced work ages the remaining cores about\n"
+      "as fast as the parked ones heal, so recovery must be scheduled\n"
+      "deliberately (the paper's 'in-time scheduled recovery').\n");
+  return 0;
+}

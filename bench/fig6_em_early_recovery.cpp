@@ -1,0 +1,37 @@
+// Reproduces Fig. 6: "Measurement results for EM accelerated and active
+// recovery during the early period of the void growth phase (at 230C and
+// +/-7.96 MA/cm^2): full recovery" — including the reverse-current-
+// induced EM that appears when the reverse stress is held past full
+// healing.
+#include <cstdio>
+#include <iostream>
+
+#include "common/time_series.hpp"
+#include "core/accelerated_test.hpp"
+
+int main() {
+  using namespace dh;
+  std::printf(
+      "== Fig. 6: full EM recovery when scheduled early in void growth "
+      "==\n\n");
+
+  const core::EmExperimentResult r = core::run_fig6(minutes(700.0));
+  TimeSeries series = r.resistance;
+  series.set_name("resistance (ohm)");
+  print_series_table(std::cout, {series}, 28);
+
+  const double r0 = r.fresh_resistance.value();
+  const double dr_peak = r.peak_resistance.value() - r0;
+  const double dr_healed = r.final_resistance.value() - r0;
+  std::printf("\nnucleation at %.0f min; early-growth dR = %.2f ohm\n",
+              in_minutes(r.nucleation_time), dr_peak);
+  std::printf("after active recovery: dR = %.3f ohm -> %.0f%% recovered "
+              "(paper: full recovery)\n",
+              dr_healed, (1.0 - dr_healed / dr_peak) * 100.0);
+  std::printf("holding the reverse current past full healing: R rises "
+              "again to dR = %.2f ohm\n"
+              "(reverse-current-induced EM at the opposite end — exactly "
+              "the hazard the paper flags)\n",
+              r.resistance.back_value() - r0);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig. 7: "Measurement results for scheduled periodic recovery
+// intervals during void nucleation phase: It takes much longer for voids
+// to nucleate, and the overall TTF is extended."
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/time_series.hpp"
+#include "core/accelerated_test.hpp"
+
+int main() {
+  using namespace dh;
+  std::printf(
+      "== Fig. 7: periodic recovery during nucleation extends TTF ==\n\n");
+
+  const core::Fig7Result r = core::run_fig7();
+  TimeSeries series = r.periodic.resistance;
+  series.set_name("resistance (ohm)");
+  print_series_table(std::cout, {series}, 25);
+
+  Table table({"metric", "constant stress", "periodic recovery (60f/20r)"});
+  table.add_row({"void nucleation (min)",
+                 Table::num(in_minutes(r.baseline_nucleation), 0),
+                 Table::num(in_minutes(r.periodic.nucleation_time), 0)});
+  table.add_row(
+      {"nucleation delay factor", "1.0x",
+       Table::num(r.nucleation_delay_factor(), 2) + "x"});
+  table.add_row({"metal broke at (min)", "-",
+                 r.periodic.broke
+                     ? Table::num(in_minutes(r.periodic.break_time), 0)
+                     : std::string("survived window")});
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf(
+      "\npaper: 'almost 3x slower' nucleation with scheduled recovery, and\n"
+      "the overall time-to-failure is extended accordingly.\n");
+
+  // Sweep the reverse-interval share (extension beyond the paper's single
+  // schedule): duty vs achieved delay.
+  std::printf("\nreverse-interval sweep (60 min forward):\n");
+  for (const double rev_min : {5.0, 10.0, 20.0, 30.0}) {
+    const auto sweep = core::run_fig7(minutes(60.0), minutes(rev_min));
+    std::printf("  %4.0f min reverse -> delay %.2fx\n", rev_min,
+                sweep.nucleation_delay_factor());
+  }
+  return 0;
+}

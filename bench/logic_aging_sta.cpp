@@ -1,0 +1,82 @@
+// Combinational-logic aging with static timing analysis: compares the
+// prior-work mitigation line the paper cites (signal-probability
+// rebalancing / input-vector control — Penelope [15], GNOMO [14]) against
+// the paper's active recovery, on the ISCAS c17 benchmark circuit with a
+// buffered output chain.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/time_series.hpp"
+#include "logic/logic_netlist.hpp"
+
+int main() {
+  using namespace dh;
+  using namespace dh::logic;
+
+  std::printf("== Logic aging STA: c17+, 85 C, 3 years, 50%% duty ==\n\n");
+
+  struct Strategy {
+    const char* name;
+    LogicMode idle_mode;
+    bool use_best_vector;
+  };
+  const Strategy strategies[] = {
+      {"clock-gated idle w/ random data", LogicMode::kOperating, false},
+      {"idle parked at all-ones vector", LogicMode::kIdleVector, false},
+      {"idle parked at optimized vector (IVC)", LogicMode::kIdleVector,
+       true},
+      {"idle in active recovery (deep healing)", LogicMode::kActiveRecovery,
+       false},
+  };
+
+  Table table({"strategy", "delay deg @1y", "delay deg @3y",
+               "worst dVth @3y", "needed timing margin"});
+  std::vector<TimeSeries> traces;
+  for (const auto& s : strategies) {
+    LogicNetlist net = make_c17_plus();
+    const auto best = net.best_idle_vector();
+    const std::vector<bool> ones(net.input_count(), true);
+    double deg_1y = 0.0;
+    double guardband = 0.0;
+    TimeSeries trace{s.name, "%"};
+    for (int d = 0; d < 3 * 365; ++d) {
+      if (s.idle_mode == LogicMode::kOperating) {
+        net.age(LogicMode::kOperating, Celsius{85.0}, hours(24.0));
+      } else {
+        net.age(LogicMode::kOperating, Celsius{85.0}, hours(12.0));
+        net.age(s.idle_mode, Celsius{85.0}, hours(12.0),
+                s.use_best_vector ? best : ones);
+      }
+      const double deg = net.delay_degradation();
+      guardband = std::max(guardband, deg);
+      if (d == 364) deg_1y = deg;
+      if (d % 30 == 0) trace.append(days(d), deg * 100.0);
+    }
+    table.add_row({s.name, Table::pct(deg_1y, 2),
+                   Table::pct(net.delay_degradation(), 2),
+                   Table::num(net.worst_dvth().value() * 1e3, 1) + " mV",
+                   Table::pct(guardband, 2)});
+    traces.push_back(std::move(trace));
+  }
+  table.print(std::cout);
+
+  std::printf("\ncritical-path degradation vs time (%%):\n");
+  std::printf("%8s", "day");
+  for (const auto& t : traces) std::printf(" %30.30s", t.name().c_str());
+  std::printf("\n");
+  for (int day = 90; day <= 1080; day += 90) {
+    std::printf("%8d", day);
+    for (const auto& t : traces) {
+      std::printf(" %30.2f", t.sample(days(day)));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nInput-vector control helps only the gates the vector happens to\n"
+      "relax; active recovery (the assist circuitry's BTI mode) heals\n"
+      "every device and needs no favourable vector — the paper's point\n"
+      "about fixing wearout 'in a fundamental way'.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// SRAM recovery boost (the paper's §II-B prior-work line, Shin et al.
+// [17], re-quantified with the calibrated BTI model): static noise margin
+// of a 64-cell array over one year at hot retention conditions, under
+// three data/recovery strategies.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sram/sram_array.hpp"
+
+int main() {
+  using namespace dh;
+  using namespace dh::sram;
+
+  std::printf("== SRAM recovery boost: 64 cells, 95 C retention, 1 year "
+              "==\n\n");
+
+  struct Strategy {
+    const char* name;
+    DataPattern pattern;
+    double boost_fraction;
+  };
+  const Strategy strategies[] = {
+      {"static data, no recovery", DataPattern::kStatic, 0.0},
+      {"bit flipping (signal-prob balancing)", DataPattern::kFlipping, 0.0},
+      {"static data + 10% recovery boost", DataPattern::kStatic, 0.10},
+      {"flipping + 10% recovery boost", DataPattern::kFlipping, 0.10},
+  };
+
+  double fresh_snm = 0.0;
+  Table table({"strategy", "worst SNM @3mo", "worst SNM @1y",
+               "SNM loss vs fresh", "worst pull-up dVth"});
+  for (const auto& s : strategies) {
+    SramArrayParams p;
+    p.cells = 64;
+    p.pattern = s.pattern;
+    SramArray arr{p};
+    if (fresh_snm == 0.0) fresh_snm = arr.cell(0).fresh_snm().value();
+    double snm_3mo = 0.0;
+    for (int d = 0; d < 365; ++d) {
+      arr.step(Celsius{95.0}, hours(24.0), s.boost_fraction);
+      if (d == 90) snm_3mo = arr.worst_cell_health().worst_snm.value();
+    }
+    const auto h = arr.worst_cell_health();
+    table.add_row({s.name, Table::num(snm_3mo * 1e3, 1) + " mV",
+                   Table::num(h.worst_snm.value() * 1e3, 1) + " mV",
+                   Table::pct(1.0 - h.worst_snm.value() / fresh_snm, 1),
+                   Table::num(h.worst_pmos_dvth.value() * 1e3, 1) + " mV"});
+  }
+  std::printf("fresh-cell hold SNM: %.1f mV\n\n", fresh_snm * 1e3);
+  table.print(std::cout);
+
+  std::printf(
+      "\n[17] could only estimate the benefit by simulation ('it was still\n"
+      "unclear how much benefit recovery boost could achieve due to lack\n"
+      "of experimental data'); with the Table-I-calibrated recovery model\n"
+      "the boost schedule's SNM retention is quantified above.\n");
+  return 0;
+}

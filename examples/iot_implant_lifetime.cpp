@@ -1,0 +1,87 @@
+// IoT / medical-implant lifetime study.
+//
+// The paper's motivation: "some biomedical applications will require a
+// lifetime of more than 50 years for medical implants". This example
+// simulates a duty-cycled ULP device and compares three strategies:
+//   1. run-to-failure (no recovery),
+//   2. conventional power gating (passive recovery during OFF time),
+//   3. deep healing (the OFF time is turned into *active* recovery by the
+//      assist circuitry, accelerated by the body's warmth).
+//
+// Build & run:  ./build/examples/iot_implant_lifetime
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/deep_healing.hpp"
+
+namespace {
+
+using namespace dh;
+using namespace dh::device;
+
+struct Strategy {
+  const char* name;
+  BtiCondition off_condition;  // what the device sees while idle
+};
+
+/// Simulate `years_total` of duty-cycled operation; returns end-of-life
+/// Vth shift (V). The implant senses for 6 min every hour (10% duty).
+double simulate(const Strategy& strategy, double years_total,
+                BtiModel& model) {
+  model.reset();
+  const BtiCondition on{Volts{0.7}, Celsius{37.0}};  // near-threshold, body T
+  // Compress simulation: one representative day per month (the model's
+  // per-bin updates are exact, so scaling hours directly is legitimate).
+  const double days_per_step = 30.4;
+  const int steps = static_cast<int>(years_total * 12.0);
+  for (int s = 0; s < steps; ++s) {
+    model.apply(on, hours(2.4 * days_per_step));                  // 10% duty
+    model.apply(strategy.off_condition, hours(21.6 * days_per_step));
+  }
+  return model.delta_vth().value();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== 50-year medical implant: BTI margin study ==\n");
+  std::printf("device: near-threshold (0.7 V) sensor node, 10%% duty, "
+              "37 C body temperature\n\n");
+
+  const Strategy strategies[] = {
+      {"run-to-failure (always biased)", {Volts{0.7}, Celsius{37.0}}},
+      {"power gating (passive recovery)", {Volts{0.0}, Celsius{37.0}}},
+      {"deep healing (active recovery)", {Volts{-0.3}, Celsius{37.0}}},
+  };
+
+  // In the near/sub-threshold regime the paper stresses that ON-current
+  // sensitivity to Vth is much higher: a ULP design might only tolerate a
+  // ~15 mV shift before timing collapses.
+  const Volts budget{0.015};
+  RingOscillator ro{RingOscillatorParams{
+      .vdd = Volts{0.7}, .vth0 = Volts{0.30}, .alpha = 1.2,
+      .fresh_frequency = Hertz{4e6}}};
+
+  Table table({"strategy", "dVth @10y", "dVth @50y", "freq loss @50y",
+               "meets 50y budget?"});
+  for (const auto& s : strategies) {
+    auto model = BtiModel::paper_calibrated();
+    // Note: strategy 1 keeps the device biased during "off" time, the
+    // worst case for NBTI.
+    const double dv10 = simulate(s, 10.0, model);
+    auto model50 = BtiModel::paper_calibrated();
+    const double dv50 = simulate(s, 50.0, model50);
+    table.add_row({s.name, Table::num(dv10 * 1e3, 2) + " mV",
+                   Table::num(dv50 * 1e3, 2) + " mV",
+                   Table::pct(ro.degradation(Volts{dv50}), 2),
+                   dv50 <= budget.value() ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nThe OFF periods are identical in all three strategies — deep\n"
+      "healing differs only in *what the circuit does with them*, which is\n"
+      "exactly the paper's point: sleep time becomes healing time.\n");
+  return 0;
+}

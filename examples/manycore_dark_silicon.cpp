@@ -1,0 +1,77 @@
+// Many-core dark-silicon rotation (the paper's Fig. 12a).
+//
+// A 4x4 many-core chip can only power a subset of its cores ("dark
+// silicon"). This example turns that constraint into an asset: parked
+// cores enter BTI active recovery, rotate across the die, and are healed
+// faster by the heat of their active neighbours. Compare the resulting
+// timing guardband against a no-recovery baseline and plain power gating.
+//
+// Build & run:  ./build/examples/manycore_dark_silicon
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/deep_healing.hpp"
+
+int main() {
+  using namespace dh;
+  using namespace dh::sched;
+
+  std::printf("== 4x4 many-core, 2 dark cores, 2 simulated years ==\n\n");
+
+  SystemParams params;
+  params.rows = 4;
+  params.cols = 4;
+  params.quantum = hours(6.0);
+  params.workload.kind = WorkloadKind::kDiurnal;
+  params.workload.utilization = 0.75;
+  params.workload.period = hours(24.0);
+  // A dense, hot design: ~100 C hot spots. The heat is what makes the
+  // recovery intervals effective (Fig. 12a's heat-assisted healing) —
+  // the same Arrhenius terms that accelerate wearout accelerate healing.
+  params.core.dynamic_power_peak = Watts{2.2};
+  params.thermal.ambient = Celsius{55.0};
+  params.thermal.vertical_g_w_per_k = 0.07;
+
+  struct Entry {
+    const char* label;
+    std::unique_ptr<RecoveryPolicy> policy;
+  };
+  Entry entries[] = {
+      {"no recovery (worst-case margin)", make_no_recovery_policy()},
+      {"power gating (passive)", make_passive_idle_policy()},
+      {"periodic active recovery (25%)",
+       make_periodic_active_policy({.period = hours(24.0),
+                                    .bti_recovery_fraction = 0.25,
+                                    .em_recovery_duty = 0.2})},
+      {"dark-silicon rotation (deep healing)",
+       make_dark_silicon_policy({.spares = 2,
+                                 .rotation_period = hours(6.0),
+                                 .em_recovery_duty = 0.2})},
+  };
+
+  Table table({"policy", "guardband", "final degradation", "availability",
+               "mean T (C)", "energy (MJ)"});
+  for (auto& e : entries) {
+    SystemSimulator sim{params, std::move(e.policy)};
+    sim.run(years(2.0));
+    const SystemSummary s = sim.summary();
+    table.add_row({e.label, Table::pct(s.guardband_fraction, 2),
+                   Table::pct(s.final_degradation, 2),
+                   Table::pct(s.availability, 1),
+                   Table::num(s.mean_temperature_c, 1),
+                   Table::num(s.energy_joules / 1e6, 1)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReadings: passive gating cannot beat the baseline on a busy chip\n"
+      "(no idle time means no passive recovery). Scheduled periodic active\n"
+      "recovery cuts the required wearout guardband by about a third for a\n"
+      "quarter of capacity (Fig. 12b's margin reduction). Naive rotation\n"
+      "keeps availability high but displaces load onto the remaining cores,\n"
+      "which ages them nearly as fast as it heals the parked ones — the\n"
+      "paper's point that recovery must be scheduled *in time and deeply*,\n"
+      "not merely opportunistically.\n");
+  return 0;
+}

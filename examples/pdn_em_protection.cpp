@@ -1,0 +1,88 @@
+// Power-delivery-network EM protection with the assist circuitry.
+//
+// The paper: "power rails suffer from single-direction DC current mostly,
+// [so] we focus on EM-induced effects in power delivery networks". This
+// example ages a local PDN mesh under a hot, high-current workload and
+// compares (a) unprotected operation against (b) the assist circuitry
+// alternating into EM Active Recovery mode on a duty cycle planned by the
+// RejuvenationPlanner — the system stays fully operational in both cases.
+//
+// Build & run:  ./build/examples/pdn_em_protection
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/deep_healing.hpp"
+
+int main() {
+  using namespace dh;
+  using namespace dh::pdn;
+
+  std::printf("== Local PDN under accelerated EM stress ==\n\n");
+
+  // Plan the EM recovery duty for the worst expected segment current.
+  core::EmPlanningInput plan_in;
+  plan_in.wire = PdnParams{}.segment_wire;
+  plan_in.material = em::paper_calibrated_em_material();
+  plan_in.operating_density = mega_amps_per_cm2(12.0);  // pad segments
+  plan_in.temperature = Celsius{230.0};
+  plan_in.lifetime = hours(50.0);
+  plan_in.stress_budget = 0.6;
+  const core::EmSchedule plan = core::plan_em_recovery(plan_in);
+  std::printf("planned duty: %.1f min forward / %.1f min reverse "
+              "(nucleation margin %.1fx)\n\n",
+              in_minutes(plan.forward_interval),
+              in_minutes(plan.reverse_interval),
+              plan.nucleation_margin_factor);
+
+  const auto run = [&](bool protect) {
+    AgingPdn pdn{PdnParams{}, em::paper_calibrated_em_material()};
+    const std::vector<double> loads(pdn.grid().node_count(), 0.003);
+    const Seconds quantum = minutes(30.0);
+    const double cycle = plan.forward_interval.value() +
+                         plan.reverse_interval.value();
+    const double fwd_share =
+        cycle > 0.0 ? plan.forward_interval.value() / cycle : 1.0;
+    double t = 0.0;
+    while (t < hours(50.0).value()) {
+      if (protect && cycle > 0.0) {
+        // Apply the planned duty within each quantum.
+        pdn.step(loads, Celsius{230.0},
+                 Seconds{quantum.value() * fwd_share}, false);
+        pdn.step(loads, Celsius{230.0},
+                 Seconds{quantum.value() * (1.0 - fwd_share)}, true);
+      } else {
+        pdn.step(loads, Celsius{230.0}, quantum, false);
+      }
+      t += quantum.value();
+    }
+    return pdn.stats();
+  };
+
+  const AgingPdnStats unprotected = run(false);
+  const AgingPdnStats protected_ = run(true);
+
+  Table table({"metric", "unprotected", "with EM active recovery"});
+  table.add_row({"nucleated segments",
+                 std::to_string(unprotected.nucleated_segments),
+                 std::to_string(protected_.nucleated_segments)});
+  table.add_row({"broken segments",
+                 std::to_string(unprotected.broken_segments),
+                 std::to_string(protected_.broken_segments)});
+  table.add_row({"max void length (nm)",
+                 Table::num(unprotected.max_void_len_m * 1e9, 1),
+                 Table::num(protected_.max_void_len_m * 1e9, 1)});
+  const auto drop_cell = [](const AgingPdnStats& st) {
+    return st.broken_segments > 0 ? std::string("grid failed (open)")
+                                  : Table::num(st.worst_drop_v * 1e3, 1);
+  };
+  table.add_row({"worst IR drop (mV, 230C oven)", drop_cell(unprotected),
+                 drop_cell(protected_)});
+  table.print(std::cout);
+
+  std::printf(
+      "\nEM recovery happens while the load keeps running (the grid\n"
+      "current reverses with the same magnitude), so protection costs\n"
+      "only the mode-switch overhead measured in Fig. 10.\n");
+  return 0;
+}

@@ -1,0 +1,312 @@
+#include "circuit/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math/linalg.hpp"
+
+namespace dh::circuit {
+
+double DcSolution::voltage(NodeId n) const {
+  if (n == 0) return 0.0;
+  DH_REQUIRE(n - 1 < node_count, "node id out of range");
+  return x[n - 1];
+}
+
+double DcSolution::branch_current(std::size_t branch) const {
+  DH_REQUIRE(node_count - 1 + branch < x.size(),
+             "branch index out of range");
+  return x[node_count - 1 + branch];
+}
+
+const TimeSeries& TransientResult::trace(const std::string& label) const {
+  for (const auto& t : traces) {
+    if (t.name() == label) return t;
+  }
+  throw Error("no transient trace named '" + label + "'");
+}
+
+NodeId Circuit::add_node(std::string name) {
+  node_names_.push_back(std::move(name));
+  return node_names_.size() - 1;
+}
+
+NodeId Circuit::node(const std::string& name) const {
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return i;
+  }
+  throw Error("no node named '" + name + "'");
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, Ohms r) {
+  DH_REQUIRE(r.value() > 0.0, "resistance must be positive");
+  DH_REQUIRE(a < node_count() && b < node_count(), "resistor node invalid");
+  resistors_.push_back({a, b, 1.0 / r.value()});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, Farads c) {
+  DH_REQUIRE(c.value() > 0.0, "capacitance must be positive");
+  DH_REQUIRE(a < node_count() && b < node_count(), "capacitor node invalid");
+  capacitors_.push_back({a, b, c.value()});
+}
+
+void Circuit::add_current_source(NodeId from, NodeId to, Waveform w) {
+  DH_REQUIRE(from < node_count() && to < node_count(),
+             "current source node invalid");
+  isources_.push_back({from, to, std::move(w)});
+}
+
+VsourceId Circuit::add_voltage_source(NodeId plus, NodeId minus, Waveform w) {
+  DH_REQUIRE(plus < node_count() && minus < node_count(),
+             "voltage source node invalid");
+  vsources_.push_back({plus, minus, std::move(w)});
+  return VsourceId{vsources_.size() - 1};
+}
+
+MosfetId Circuit::add_mosfet(const MosfetParams& params, NodeId gate,
+                             NodeId drain, NodeId source) {
+  DH_REQUIRE(gate < node_count() && drain < node_count() &&
+                 source < node_count(),
+             "mosfet node invalid");
+  mosfets_.push_back({params, gate, drain, source});
+  return MosfetId{mosfets_.size() - 1};
+}
+
+SwitchId Circuit::add_switch(NodeId a, NodeId b, Ohms r_on, Ohms r_off) {
+  DH_REQUIRE(a < node_count() && b < node_count(), "switch node invalid");
+  DH_REQUIRE(r_on.value() > 0.0 && r_off.value() > r_on.value(),
+             "switch resistances invalid");
+  switches_.push_back({a, b, 1.0 / r_on.value(), 1.0 / r_off.value(), false});
+  return SwitchId{switches_.size() - 1};
+}
+
+void Circuit::set_switch(SwitchId s, bool closed) {
+  DH_REQUIRE(s.index < switches_.size(), "switch id invalid");
+  switches_[s.index].closed = closed;
+}
+
+MosfetParams& Circuit::mosfet_params(MosfetId m) {
+  DH_REQUIRE(m.index < mosfets_.size(), "mosfet id invalid");
+  return mosfets_[m.index].params;
+}
+
+// ---- Assembly -------------------------------------------------------------
+
+class AssembleOut {
+ public:
+  AssembleOut(std::size_t n_unknowns, std::size_t n_nodes)
+      : g(n_unknowns, n_unknowns, 0.0), rhs(n_unknowns, 0.0),
+        n_nodes_(n_nodes) {}
+
+  // Node index -> unknown index (ground excluded).
+  [[nodiscard]] bool grounded(NodeId n) const { return n == 0; }
+  [[nodiscard]] std::size_t idx(NodeId n) const { return n - 1; }
+
+  void add_conductance(NodeId a, NodeId b, double cond) {
+    if (!grounded(a)) g(idx(a), idx(a)) += cond;
+    if (!grounded(b)) g(idx(b), idx(b)) += cond;
+    if (!grounded(a) && !grounded(b)) {
+      g(idx(a), idx(b)) -= cond;
+      g(idx(b), idx(a)) -= cond;
+    }
+  }
+  /// Current `i` flows out of node a into node b (through the element).
+  void add_current(NodeId a, NodeId b, double i) {
+    if (!grounded(a)) rhs[idx(a)] -= i;
+    if (!grounded(b)) rhs[idx(b)] += i;
+  }
+  /// Transconductance: current out of `a` into `b` controlled by the
+  /// voltage of node `ctrl`: i = gm * v(ctrl).
+  void add_transconductance(NodeId a, NodeId b, NodeId ctrl, double gm) {
+    if (grounded(ctrl)) return;
+    if (!grounded(a)) g(idx(a), idx(ctrl)) += gm;
+    if (!grounded(b)) g(idx(b), idx(ctrl)) -= gm;
+  }
+
+  math::Matrix g;
+  std::vector<double> rhs;
+
+ private:
+  std::size_t n_nodes_;
+};
+
+void Circuit::assemble(std::vector<double>& x_guess, double t, double gmin,
+                       const std::vector<double>* x_prev, double dt,
+                       AssembleOut& out) const {
+  auto v_of = [&](NodeId n) { return n == 0 ? 0.0 : x_guess[n - 1]; };
+  auto v_prev_of = [&](NodeId n) {
+    return (n == 0 || x_prev == nullptr) ? 0.0 : (*x_prev)[n - 1];
+  };
+
+  // gmin leak on every non-ground node.
+  for (std::size_t n = 1; n < node_count(); ++n) {
+    out.g(n - 1, n - 1) += gmin;
+  }
+
+  for (const auto& r : resistors_) out.add_conductance(r.a, r.b, r.g);
+
+  for (const auto& s : switches_) {
+    out.add_conductance(s.a, s.b, s.closed ? s.g_on : s.g_off);
+  }
+
+  for (const auto& c : capacitors_) {
+    if (x_prev == nullptr) continue;  // DC: capacitor is open
+    const double geq = c.c / dt;
+    out.add_conductance(c.a, c.b, geq);
+    const double v0 = v_prev_of(c.a) - v_prev_of(c.b);
+    // Companion current source geq*v0 from b to a (it fights change).
+    out.add_current(c.a, c.b, -geq * v0);
+  }
+
+  for (const auto& i : isources_) {
+    out.add_current(i.from, i.to, i.w.value(t));
+  }
+
+  for (const auto& m : mosfets_) {
+    const MosfetEval e =
+        evaluate_mosfet(m.params, v_of(m.g), v_of(m.d), v_of(m.s));
+    // Linearized: i(v) = ids + d_vg*dvg + d_vd*dvd + d_vs*dvs.
+    // Current flows drain -> source through the device.
+    const double ieq = e.ids - e.d_vg * v_of(m.g) - e.d_vd * v_of(m.d) -
+                       e.d_vs * v_of(m.s);
+    out.add_current(m.d, m.s, ieq);
+    out.add_transconductance(m.d, m.s, m.g, e.d_vg);
+    out.add_transconductance(m.d, m.s, m.d, e.d_vd);
+    out.add_transconductance(m.d, m.s, m.s, e.d_vs);
+  }
+
+  const std::size_t nn = node_count() - 1;
+  for (std::size_t k = 0; k < vsources_.size(); ++k) {
+    const auto& vs = vsources_[k];
+    const std::size_t br = nn + k;
+    if (vs.p != 0) {
+      out.g(vs.p - 1, br) += 1.0;
+      out.g(br, vs.p - 1) += 1.0;
+    }
+    if (vs.n != 0) {
+      out.g(vs.n - 1, br) -= 1.0;
+      out.g(br, vs.n - 1) -= 1.0;
+    }
+    out.rhs[br] += vs.w.value(t);
+  }
+}
+
+std::optional<std::vector<double>> Circuit::newton_solve(
+    std::vector<double> x0, double t, double gmin,
+    const std::vector<double>* x_prev, double dt, const SolverOptions& opts,
+    int* iters_out) const {
+  const std::size_t n = unknown_count();
+  std::vector<double> x = std::move(x0);
+  x.resize(n, 0.0);
+  const std::size_t nn = node_count() - 1;
+  for (int iter = 0; iter < opts.max_newton_iterations; ++iter) {
+    AssembleOut out(n, node_count());
+    assemble(x, t, gmin, x_prev, dt, out);
+    std::vector<double> x_new;
+    try {
+      x_new = math::solve_dense(out.g, out.rhs);
+    } catch (const Error&) {
+      return std::nullopt;  // singular system at this gmin level
+    }
+    // Damping: limit the node-voltage update.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nn; ++i) {
+      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    }
+    double scale = 1.0;
+    if (max_dv > opts.max_step_v) scale = opts.max_step_v / max_dv;
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = (x_new[i] - x[i]) * scale;
+      if (std::abs(dx) >
+          opts.abs_tol + opts.rel_tol * std::abs(x[i])) {
+        converged = false;
+      }
+      x[i] += dx;
+    }
+    if (converged && scale == 1.0) {
+      if (iters_out != nullptr) *iters_out = iter + 1;
+      return x;
+    }
+  }
+  return std::nullopt;
+}
+
+DcSolution Circuit::solve_dc(double t, const SolverOptions& opts) const {
+  DH_REQUIRE(node_count() >= 2, "circuit has no nodes");
+  // gmin continuation: start leaky, tighten, reusing each stage's solution.
+  const double gmin_levels[] = {1e-3, 1e-5, 1e-7, 1e-9, 0.0};
+  std::vector<double> x(unknown_count(), 0.0);
+  int iters = 0;
+  bool have_solution = false;
+  for (const double gmin : gmin_levels) {
+    const double g = std::max(gmin, opts.gmin_floor);
+    int it = 0;
+    auto sol = newton_solve(x, t, g, nullptr, 0.0, opts, &it);
+    if (sol) {
+      x = std::move(*sol);
+      iters += it;
+      have_solution = true;
+    } else if (!have_solution) {
+      continue;  // try the next (tighter) level from scratch anyway
+    }
+  }
+  if (!have_solution) {
+    throw ConvergenceError("DC operating point failed to converge");
+  }
+  DcSolution out;
+  out.x = std::move(x);
+  out.node_count = node_count();
+  out.newton_iterations = iters;
+  return out;
+}
+
+TransientResult Circuit::solve_transient(double t_end, double dt,
+                                         const std::vector<Probe>& probes,
+                                         const SolverOptions& opts) const {
+  DH_REQUIRE(t_end > 0.0 && dt > 0.0 && dt < t_end,
+             "transient window/step invalid");
+  TransientResult result;
+  for (const auto& p : probes) {
+    result.traces.emplace_back(p.label,
+                               p.kind == Probe::Kind::kNodeVoltage ? "V"
+                                                                   : "A");
+  }
+  DcSolution ic = solve_dc(0.0, opts);
+  std::vector<double> x = ic.x;
+  const std::size_t nn = node_count() - 1;
+  auto record = [&](double time) {
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      double v = 0.0;
+      if (probes[p].kind == Probe::Kind::kNodeVoltage) {
+        v = probes[p].target == 0 ? 0.0 : x[probes[p].target - 1];
+      } else {
+        v = x[nn + probes[p].target];
+      }
+      result.traces[p].append(Seconds{time}, v);
+    }
+  };
+  record(0.0);
+  double t = 0.0;
+  std::vector<double> x_prev = x;
+  while (t < t_end - 0.5 * dt) {
+    t += dt;
+    x_prev = x;
+    int it = 0;
+    auto sol = newton_solve(x, t, opts.gmin_floor, &x_prev, dt, opts, &it);
+    if (!sol) {
+      // Retry once with a leakier gmin before giving up.
+      sol = newton_solve(x, t, 1e-6, &x_prev, dt, opts, &it);
+      if (!sol) {
+        throw ConvergenceError("transient step failed to converge at t=" +
+                               std::to_string(t));
+      }
+    }
+    x = std::move(*sol);
+    record(t);
+  }
+  return result;
+}
+
+}  // namespace dh::circuit

@@ -1,0 +1,27 @@
+#include "common/arrhenius.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace dh {
+
+double boltzmann_factor(ElectronVolts ea, Kelvin t) {
+  DH_REQUIRE(t.value() > 0.0, "absolute temperature must be positive");
+  return std::exp(-ea.value() / (constants::kBoltzmannEv * t.value()));
+}
+
+double arrhenius_acceleration(ElectronVolts ea, Kelvin t, Kelvin t_ref) {
+  DH_REQUIRE(t.value() > 0.0 && t_ref.value() > 0.0,
+             "absolute temperatures must be positive");
+  const double inv_diff = 1.0 / t_ref.value() - 1.0 / t.value();
+  return std::exp(ea.value() / constants::kBoltzmannEv * inv_diff);
+}
+
+double thermal_energy_ev(Kelvin t) {
+  DH_REQUIRE(t.value() > 0.0, "absolute temperature must be positive");
+  return constants::kBoltzmannEv * t.value();
+}
+
+}  // namespace dh

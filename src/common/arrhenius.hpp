@@ -1,0 +1,26 @@
+// Arrhenius temperature-activation helpers.
+//
+// Both BTI trap emission/capture and EM atomic diffusion are thermally
+// activated processes; everything temperature-related in this library goes
+// through these two functions so acceleration factors are consistent.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace dh {
+
+/// exp(-Ea / kT): the Boltzmann factor for a process with activation
+/// energy `ea` at absolute temperature `t`.
+[[nodiscard]] double boltzmann_factor(ElectronVolts ea, Kelvin t);
+
+/// Arrhenius acceleration factor of temperature `t` relative to reference
+/// temperature `t_ref` for activation energy `ea`:
+///   AF = exp(Ea/k * (1/T_ref - 1/T)).
+/// AF > 1 when t > t_ref (the process speeds up).
+[[nodiscard]] double arrhenius_acceleration(ElectronVolts ea, Kelvin t,
+                                            Kelvin t_ref);
+
+/// Thermal voltage-equivalent kT in eV at temperature `t`.
+[[nodiscard]] double thermal_energy_ev(Kelvin t);
+
+}  // namespace dh

@@ -1,0 +1,29 @@
+// Physical constants used across the wearout models.
+#pragma once
+
+namespace dh::constants {
+
+/// Boltzmann constant in eV/K (the natural unit for activation energies).
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/// Boltzmann constant in J/K.
+inline constexpr double kBoltzmannJ = 1.380649e-23;
+
+/// Elementary charge in C.
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Atomic volume of copper in m^3 (FCC lattice, a = 3.615 Å).
+inline constexpr double kCopperAtomicVolume = 1.182e-29;
+
+/// Electrical resistivity of copper at 20 °C in Ohm·m (thin-film value,
+/// slightly above bulk because of surface/grain-boundary scattering).
+inline constexpr double kCopperResistivity20C = 2.0e-8;
+
+/// Temperature coefficient of resistance for copper, 1/K, referenced to
+/// 20 °C.
+inline constexpr double kCopperTcr = 3.93e-3;
+
+/// Effective bulk modulus for confined damascene copper lines, Pa.
+inline constexpr double kCopperEffectiveModulus = 1.0e11;
+
+}  // namespace dh::constants

@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace dh::detail {
+
+void raise_requirement(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace dh::detail

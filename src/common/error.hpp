@@ -1,0 +1,40 @@
+// Error handling primitives for the deep-healing library.
+//
+// All contract violations throw dh::Error (derived from std::runtime_error)
+// so callers can distinguish library failures from standard-library ones.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dh {
+
+/// Exception type thrown on any contract violation or numerical failure
+/// inside the deep-healing library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an iterative solver fails to converge.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_requirement(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace dh
+
+/// Precondition check: throws dh::Error with location info when `expr` is
+/// false. Always active (these guard physical-model contracts, not hot
+/// inner loops).
+#define DH_REQUIRE(expr, msg)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::dh::detail::raise_requirement(#expr, __FILE__, __LINE__, msg); \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,126 @@
+#include "common/math/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(double v) { std::ranges::fill(data_, v); }
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  DH_REQUIRE(x.size() == cols_, "matrix-vector dimension mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+LuFactorization::LuFactorization(const Matrix& a) : lu_(a), perm_(a.rows()) {
+  DH_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    DH_REQUIRE(best > 1e-300, "matrix is singular to working precision");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot, c));
+      }
+      std::swap(perm_[k], perm_[pivot]);
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  DH_REQUIRE(b.size() == n, "rhs dimension mismatch");
+  std::vector<double> x(n);
+  // Apply permutation, forward substitution (unit lower).
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution (upper).
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_dense(const Matrix& a, std::span<const double> b) {
+  return LuFactorization{a}.solve(b);
+}
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs) {
+  const std::size_t n = diag.size();
+  DH_REQUIRE(n >= 1, "tridiagonal system must be non-empty");
+  DH_REQUIRE(lower.size() == n - 1 && upper.size() == n - 1 &&
+                 rhs.size() == n,
+             "tridiagonal band sizes inconsistent");
+  std::vector<double> c_prime(n, 0.0);
+  std::vector<double> d_prime(n, 0.0);
+  DH_REQUIRE(std::abs(diag[0]) > 1e-300, "tridiagonal pivot underflow");
+  c_prime[0] = n > 1 ? upper[0] / diag[0] : 0.0;
+  d_prime[0] = rhs[0] / diag[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = diag[i] - lower[i - 1] * c_prime[i - 1];
+    DH_REQUIRE(std::abs(denom) > 1e-300, "tridiagonal pivot underflow");
+    if (i < n - 1) c_prime[i] = upper[i] / denom;
+    d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / denom;
+  }
+  std::vector<double> x(n);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t ii = n - 1; ii-- > 0;) {
+    x[ii] = d_prime[ii] - c_prime[ii] * x[ii + 1];
+  }
+  return x;
+}
+
+double norm2(std::span<const double> v) {
+  double acc = 0.0;
+  for (const double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double norm_inf(std::span<const double> v) {
+  double acc = 0.0;
+  for (const double x : v) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+}  // namespace dh::math

@@ -1,0 +1,79 @@
+// Dense linear algebra kernels used by the MNA circuit solver, the
+// thermal grid, and the PDN IR-drop solver, plus the Thomas algorithm used
+// by the Korhonen EM PDE integrator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dh::math {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void fill(double v);
+
+  /// y = A x.
+  [[nodiscard]] std::vector<double> multiply(
+      std::span<const double> x) const;
+
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting (in place), reusable for
+/// repeated solves against the same matrix (e.g. linear circuits, thermal
+/// grids with fixed conductances).
+class LuFactorization {
+ public:
+  /// Factorizes a copy of `a`. Throws dh::Error if `a` is singular to
+  /// working precision.
+  explicit LuFactorization(const Matrix& a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// One-shot dense solve: A x = b.
+[[nodiscard]] std::vector<double> solve_dense(const Matrix& a,
+                                              std::span<const double> b);
+
+/// Thomas algorithm for a tridiagonal system. `lower` has n-1 entries
+/// (sub-diagonal), `diag` n entries, `upper` n-1 entries. Overwrites
+/// nothing; returns the solution.
+[[nodiscard]] std::vector<double> solve_tridiagonal(
+    std::span<const double> lower, std::span<const double> diag,
+    std::span<const double> upper, std::span<const double> rhs);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> v);
+
+/// Infinity norm.
+[[nodiscard]] double norm_inf(std::span<const double> v);
+
+}  // namespace dh::math

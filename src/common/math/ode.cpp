@@ -1,0 +1,44 @@
+#include "common/math/ode.hpp"
+
+#include "common/error.hpp"
+
+namespace dh::math {
+
+void rk4_step(const OdeRhs& f, double t, double dt, std::vector<double>& y) {
+  const std::size_t n = y.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  f(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k1[i];
+  f(t + 0.5 * dt, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k2[i];
+  f(t + 0.5 * dt, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k3[i];
+  f(t + dt, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+void rk4_integrate(const OdeRhs& f, double t0, double t1, int steps,
+                   std::vector<double>& y) {
+  DH_REQUIRE(steps > 0, "RK4 needs a positive step count");
+  const double dt = (t1 - t0) / steps;
+  double t = t0;
+  for (int s = 0; s < steps; ++s) {
+    rk4_step(f, t, dt, y);
+    t += dt;
+  }
+}
+
+double rk4_scalar(const std::function<double(double, double)>& f, double t0,
+                  double t1, int steps, double y0) {
+  std::vector<double> y{y0};
+  const OdeRhs rhs = [&f](double t, std::span<const double> yy,
+                          std::span<double> dydt) {
+    dydt[0] = f(t, yy[0]);
+  };
+  rk4_integrate(rhs, t0, t1, steps, y);
+  return y[0];
+}
+
+}  // namespace dh::math

@@ -1,0 +1,26 @@
+// Small fixed-step ODE integrators for compact wearout models.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace dh::math {
+
+/// dy/dt = f(t, y) for a state vector y.
+using OdeRhs =
+    std::function<void(double t, std::span<const double> y, std::span<double> dydt)>;
+
+/// Classic 4th-order Runge–Kutta step: advances y in place from t by dt.
+void rk4_step(const OdeRhs& f, double t, double dt, std::vector<double>& y);
+
+/// Integrates from t0 to t1 with `steps` RK4 steps; y is updated in place.
+void rk4_integrate(const OdeRhs& f, double t0, double t1, int steps,
+                   std::vector<double>& y);
+
+/// Scalar convenience: integrates dy/dt = f(t, y) and returns y(t1).
+[[nodiscard]] double rk4_scalar(
+    const std::function<double(double, double)>& f, double t0, double t1,
+    int steps, double y0);
+
+}  // namespace dh::math

@@ -1,0 +1,27 @@
+// Scalar root finding and 1-D minimization, used for calibration
+// (fitting trap densities to Table I) and for schedule optimization
+// (finding the stress:recovery balance point).
+#pragma once
+
+#include <functional>
+
+namespace dh::math {
+
+/// Finds x in [lo, hi] with f(x) = 0 by Brent's method. Requires
+/// f(lo) and f(hi) to have opposite signs. Throws dh::ConvergenceError on
+/// failure.
+[[nodiscard]] double brent_root(const std::function<double(double)>& f,
+                                double lo, double hi, double tol = 1e-10,
+                                int max_iter = 200);
+
+/// Simple bisection (robust fallback; same contract as brent_root).
+[[nodiscard]] double bisect_root(const std::function<double(double)>& f,
+                                 double lo, double hi, double tol = 1e-10,
+                                 int max_iter = 200);
+
+/// Golden-section search for the minimum of a unimodal f on [lo, hi].
+[[nodiscard]] double golden_minimize(const std::function<double(double)>& f,
+                                     double lo, double hi, double tol = 1e-8,
+                                     int max_iter = 200);
+
+}  // namespace dh::math

@@ -1,0 +1,63 @@
+// Deterministic random-number utilities.
+//
+// All stochastic models take an Rng& explicitly (no global state) so that
+// every simulation, test, and benchmark is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dh {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>{lo, hi}(engine_);
+  }
+
+  /// Standard normal deviate scaled to (mean, sigma).
+  [[nodiscard]] double normal(double mean, double sigma) {
+    return std::normal_distribution<double>{mean, sigma}(engine_);
+  }
+
+  /// Lognormal deviate with the given log-domain parameters.
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>{mu, sigma}(engine_);
+  }
+
+  /// Exponential deviate with the given rate (lambda).
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>{rate}(engine_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Derive an independent child stream (useful for per-component RNGs).
+  [[nodiscard]] Rng fork() {
+    return Rng{static_cast<std::uint64_t>(engine_()) ^ 0xD1B54A32D192ED03ull};
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dh

@@ -1,0 +1,101 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::stats {
+
+double mean(std::span<const double> xs) {
+  DH_REQUIRE(!xs.empty(), "mean of empty sample");
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  DH_REQUIRE(xs.size() >= 2, "sample variance needs >= 2 points");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) { return percentile(xs, 0.5); }
+
+double percentile(std::span<const double> xs, double p) {
+  DH_REQUIRE(!xs.empty(), "percentile of empty sample");
+  DH_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::ranges::sort(sorted);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double w = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - w) + sorted[hi] * w;
+}
+
+double LognormalFit::t50() const { return std::exp(mu); }
+
+double LognormalFit::quantile(double p) const {
+  return std::exp(mu + sigma * inverse_normal_cdf(p));
+}
+
+LognormalFit fit_lognormal(std::span<const double> samples) {
+  DH_REQUIRE(samples.size() >= 2, "lognormal fit needs >= 2 samples");
+  std::vector<double> logs;
+  logs.reserve(samples.size());
+  for (const double s : samples) {
+    DH_REQUIRE(s > 0.0, "lognormal samples must be positive");
+    logs.push_back(std::log(s));
+  }
+  LognormalFit fit;
+  fit.mu = mean(logs);
+  fit.sigma = stddev(logs);
+  return fit;
+}
+
+double inverse_normal_cdf(double p) {
+  DH_REQUIRE(p > 0.0 && p < 1.0, "inverse normal CDF needs p in (0,1)");
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double q;
+  double r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace dh::stats

@@ -1,0 +1,32 @@
+// Aligned terminal tables for the bench harnesses (each bench prints the
+// same rows the paper's table/figure reports).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dh {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must have the same number of cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Formats a ratio as a percentage string like "72.4%".
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dh

@@ -1,0 +1,80 @@
+// The paper's experimental protocols, packaged as reusable procedures.
+// Benches and integration tests both run these, so the reproduction of
+// each table/figure has a single source of truth.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/time_series.hpp"
+#include "device/bti_model.hpp"
+#include "device/calibration.hpp"
+#include "em/korhonen.hpp"
+
+namespace dh::core {
+
+// ---- Table I -------------------------------------------------------------
+
+struct Table1Row {
+  const char* label;
+  device::BtiCondition condition;
+  double model_fraction;       // our model
+  double measured_fraction;    // our virtual-chamber "measurement"
+  double paper_model;          // the paper's model column
+  double paper_measured;       // the paper's measurement column
+};
+
+/// Runs the Table I protocol (24 h accelerated stress, 6 h recovery at
+/// each of the four conditions) on the calibrated BTI model, plus a
+/// noisy ring-oscillator measurement of the same experiment.
+[[nodiscard]] std::array<Table1Row, 4> run_table1(std::uint64_t seed = 7);
+
+// ---- Fig. 4 ----------------------------------------------------------------
+
+struct Fig4Pattern {
+  const char* label;
+  Seconds stress_per_cycle;
+  Seconds recovery_per_cycle;
+  std::vector<double> permanent_mv;  // residual dVth at the end of each cycle
+};
+
+/// Cyclic stress/recovery with recovery condition No. 4; returns the
+/// permanent-component trajectory for each stress:recovery pattern.
+[[nodiscard]] std::vector<Fig4Pattern> run_fig4(int cycles = 8);
+
+// ---- Figs. 5-7 -------------------------------------------------------------
+
+struct EmExperimentResult {
+  TimeSeries resistance;   // measured R(t) at the chamber temperature
+  Seconds nucleation_time{-1.0};
+  Ohms fresh_resistance{0.0};
+  Ohms peak_resistance{0.0};
+  Ohms final_resistance{0.0};
+  bool broke = false;
+  Seconds break_time{-1.0};
+  /// Fraction of the stress-induced dR undone by the recovery phase(s).
+  [[nodiscard]] double recovery_fraction() const;
+};
+
+/// Fig. 5: stress 600 min (through nucleation + deep void growth), then
+/// active+accelerated recovery (or passive if `active` is false).
+[[nodiscard]] EmExperimentResult run_fig5(bool active_recovery,
+                                          Seconds recovery_time = minutes(360));
+
+/// Fig. 6: recovery started early in the void-growth phase, held long
+/// enough to show full recovery and then reverse-current-induced EM.
+[[nodiscard]] EmExperimentResult run_fig6(Seconds hold_after_heal =
+                                              minutes(600));
+
+/// Fig. 7: periodic short reverse intervals during the nucleation phase;
+/// reports the (delayed) nucleation and break times.
+struct Fig7Result {
+  EmExperimentResult periodic;
+  Seconds baseline_nucleation{0.0};
+  [[nodiscard]] double nucleation_delay_factor() const;
+};
+[[nodiscard]] Fig7Result run_fig7(Seconds forward_interval = minutes(60),
+                                  Seconds reverse_interval = minutes(20),
+                                  Seconds max_time = minutes(3000));
+
+}  // namespace dh::core

@@ -1,0 +1,76 @@
+#include "core/recovery_controller.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::core {
+
+double RecoveryAccounting::overhead_fraction(Seconds switch_cost) const {
+  const double total =
+      normal.value() + em_recovery.value() + bti_recovery.value();
+  if (total <= 0.0) return 0.0;
+  return static_cast<double>(mode_switches) * switch_cost.value() / total;
+}
+
+double RecoveryAccounting::uptime_fraction() const {
+  const double total =
+      normal.value() + em_recovery.value() + bti_recovery.value();
+  if (total <= 0.0) return 1.0;
+  return (normal.value() + em_recovery.value()) / total;
+}
+
+RecoveryController::RecoveryController(RecoveryControllerParams params)
+    : params_(params) {
+  DH_REQUIRE(params_.bti.recovery_fraction >= 0.0 &&
+                 params_.bti.recovery_fraction < 1.0,
+             "BTI recovery fraction must be in [0,1)");
+}
+
+circuit::AssistMode RecoveryController::decide(Seconds now, bool load_idle) {
+  // Scheduled BTI window: the trailing fraction of every period.
+  if (params_.bti.period.value() > 0.0 &&
+      params_.bti.recovery_fraction > 0.0) {
+    const double frac = std::fmod(now.value(), params_.bti.period.value()) /
+                        params_.bti.period.value();
+    if (frac >= 1.0 - params_.bti.recovery_fraction) {
+      return circuit::AssistMode::kBtiActiveRecovery;
+    }
+  }
+  // Opportunistic BTI recovery during intrinsic idle time.
+  if (load_idle) {
+    return circuit::AssistMode::kBtiActiveRecovery;
+  }
+  // EM recovery duty during operation (system stays up in EM mode).
+  const double cycle = params_.em.forward_interval.value() +
+                       params_.em.reverse_interval.value();
+  if (cycle > 0.0 && params_.em.reverse_interval.value() > 0.0) {
+    const double pos = std::fmod(now.value(), cycle);
+    if (pos >= params_.em.forward_interval.value()) {
+      return circuit::AssistMode::kEmActiveRecovery;
+    }
+  }
+  return circuit::AssistMode::kNormal;
+}
+
+void RecoveryController::commit(circuit::AssistMode mode, Seconds dt) {
+  DH_REQUIRE(dt.value() >= 0.0, "time step must be non-negative");
+  if (have_last_ && mode != last_mode_) {
+    ++accounting_.mode_switches;
+  }
+  last_mode_ = mode;
+  have_last_ = true;
+  switch (mode) {
+    case circuit::AssistMode::kNormal:
+      accounting_.normal += dt;
+      break;
+    case circuit::AssistMode::kEmActiveRecovery:
+      accounting_.em_recovery += dt;
+      break;
+    case circuit::AssistMode::kBtiActiveRecovery:
+      accounting_.bti_recovery += dt;
+      break;
+  }
+}
+
+}  // namespace dh::core

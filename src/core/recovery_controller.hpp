@@ -1,0 +1,61 @@
+// RecoveryController: the run-time state machine that drives a block's
+// assist circuitry between Normal, EM Active Recovery, and BTI Active
+// Recovery according to a planned schedule (Fig. 12b), accounting for
+// mode-switch overhead and tracking how much time each mode consumed.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/assist.hpp"
+#include "common/units.hpp"
+#include "core/rejuvenation_planner.hpp"
+
+namespace dh::core {
+
+struct RecoveryControllerParams {
+  BtiSchedule bti{};
+  EmSchedule em{};
+  /// Time lost per mode switch (from the Fig. 10 study).
+  Seconds mode_switch_overhead{500e-9};
+};
+
+struct RecoveryAccounting {
+  Seconds normal{0.0};
+  Seconds em_recovery{0.0};
+  Seconds bti_recovery{0.0};
+  std::size_t mode_switches = 0;
+  /// Fraction of wall time lost to switching.
+  [[nodiscard]] double overhead_fraction(Seconds switch_cost) const;
+  /// Fraction of wall time the block was operational (Normal or EM mode —
+  /// the load keeps running during EM recovery).
+  [[nodiscard]] double uptime_fraction() const;
+};
+
+class RecoveryController {
+ public:
+  explicit RecoveryController(RecoveryControllerParams params);
+
+  /// Mode for the quantum starting at `now`. `load_idle` reports whether
+  /// the workload has an intrinsic OFF opportunity; BTI recovery windows
+  /// are honored regardless (the paper's scheduled recovery), but idle
+  /// time is used opportunistically for extra BTI healing.
+  [[nodiscard]] circuit::AssistMode decide(Seconds now, bool load_idle);
+
+  /// Advance accounting by one quantum in the mode returned by decide().
+  void commit(circuit::AssistMode mode, Seconds dt);
+
+  [[nodiscard]] const RecoveryAccounting& accounting() const {
+    return accounting_;
+  }
+  [[nodiscard]] const RecoveryControllerParams& params() const {
+    return params_;
+  }
+
+ private:
+  RecoveryControllerParams params_;
+  RecoveryAccounting accounting_;
+  circuit::AssistMode last_mode_ = circuit::AssistMode::kNormal;
+  bool have_last_ = false;
+};
+
+}  // namespace dh::core

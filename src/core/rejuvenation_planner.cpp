@@ -1,0 +1,111 @@
+#include "core/rejuvenation_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace dh::core {
+
+namespace {
+
+/// Residual Vth shift after running the schedule for the whole lifetime.
+Volts simulate_schedule(const BtiPlanningInput& in, double recovery_fraction) {
+  auto model = device::BtiModel::paper_calibrated();
+  const double cycles_exact = in.lifetime.value() / in.period.value();
+  const auto cycles = static_cast<long>(std::ceil(cycles_exact));
+  const Seconds stress_time{in.period.value() * (1.0 - recovery_fraction)};
+  const Seconds recovery_time{in.period.value() * recovery_fraction};
+  for (long c = 0; c < cycles; ++c) {
+    if (stress_time.value() > 0.0) model.apply(in.stress, stress_time);
+    if (recovery_time.value() > 0.0) model.apply(in.recovery, recovery_time);
+  }
+  return model.delta_vth();
+}
+
+}  // namespace
+
+BtiSchedule plan_bti_recovery(const BtiPlanningInput& input) {
+  DH_REQUIRE(input.stress.is_stress(),
+             "planning input needs a stress condition");
+  DH_REQUIRE(input.period.value() > 0.0 && input.lifetime.value() > 0.0,
+             "period and lifetime must be positive");
+  BtiSchedule out;
+  out.period = input.period;
+  out.unmitigated_permanent = simulate_schedule(input, 0.0);
+
+  if (out.unmitigated_permanent <= input.residual_budget) {
+    out.recovery_fraction = 0.0;
+    out.residual_permanent = out.unmitigated_permanent;
+    return out;
+  }
+  // Bisection on the recovery share (residual decreases monotonically).
+  double lo = 0.0;
+  double hi = 0.9;
+  Volts hi_res = simulate_schedule(input, hi);
+  if (hi_res > input.residual_budget) {
+    // Even 90% recovery cannot meet the budget; report the best we can.
+    out.recovery_fraction = hi;
+    out.residual_permanent = hi_res;
+    return out;
+  }
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (simulate_schedule(input, mid) > input.residual_budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.recovery_fraction = hi;
+  out.residual_permanent = simulate_schedule(input, hi);
+  return out;
+}
+
+EmSchedule plan_em_recovery(const EmPlanningInput& input) {
+  DH_REQUIRE(input.stress_budget > 0.0 && input.stress_budget < 1.0,
+             "stress budget must be in (0,1)");
+  EmSchedule out;
+  const Kelvin t = to_kelvin(input.temperature);
+  const double rho = input.wire.resistivity_at(t);
+  const double j_abs = std::abs(input.operating_density.value());
+  if (j_abs == 0.0) {
+    out.nucleation_margin_factor = 1.0;
+    return out;
+  }
+  // Blech immortality: back-stress alone holds the line below critical.
+  const double blech = j_abs * input.wire.length.value();
+  if (blech < input.material.blech_threshold(rho) * input.stress_budget) {
+    out.nucleation_margin_factor = 1e9;  // effectively immortal
+    return out;
+  }
+  const double g =
+      input.material.driving_force(rho, AmpsPerM2{j_abs});
+  const double kappa = input.material.kappa(t);
+  // Peak stress under an effective (duty-averaged) drive at end of life:
+  //   sigma = 2*G_eff*sqrt(kappa*T/pi)  (semi-infinite growth, the worst
+  //   case for a long line).
+  const double sigma_life =
+      2.0 * g * std::sqrt(kappa * input.lifetime.value() / std::numbers::pi);
+  const double sigma_max =
+      input.stress_budget * input.material.critical_stress.value();
+  if (sigma_life <= sigma_max) {
+    out.nucleation_margin_factor = sigma_max / sigma_life;
+    return out;  // never reaches the budget: no recovery intervals needed
+  }
+  const double duty = sigma_max / sigma_life;  // G_eff/G required
+  // Forward interval chosen so the within-period stress ripple stays below
+  // 10% of the budget.
+  const double ripple_target = 0.1 * sigma_max;
+  const double tf =
+      std::numbers::pi / kappa * std::pow(ripple_target / (2.0 * g), 2.0);
+  out.forward_interval = Seconds{std::max(tf, 60.0)};
+  out.reverse_interval =
+      Seconds{out.forward_interval.value() * (1.0 - duty) / (1.0 + duty)};
+  // Nucleation time scales as 1/G_eff^2.
+  out.nucleation_margin_factor = 1.0 / (duty * duty);
+  return out;
+}
+
+}  // namespace dh::core

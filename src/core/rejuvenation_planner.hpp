@@ -1,0 +1,63 @@
+// RejuvenationPlanner: turns the paper's "push-pull" observation into a
+// design procedure — find the smallest scheduled recovery share that keeps
+// the permanent wearout component from accumulating over the device's
+// target lifetime, and place EM recovery intervals before void nucleation.
+#pragma once
+
+#include "common/units.hpp"
+#include "device/bti_model.hpp"
+#include "em/compact_em.hpp"
+
+namespace dh::core {
+
+struct BtiSchedule {
+  /// Fraction of every period spent in BTI active recovery.
+  double recovery_fraction = 0.0;
+  Seconds period{0.0};
+  /// Predicted permanent component at end of life with this schedule.
+  Volts residual_permanent{0.0};
+  /// Predicted permanent component with NO scheduled recovery.
+  Volts unmitigated_permanent{0.0};
+};
+
+struct BtiPlanningInput {
+  device::BtiCondition stress;               // operating stress condition
+  device::BtiCondition recovery;             // available recovery condition
+  Seconds period{hours(24.0)};               // scheduling period
+  Seconds lifetime{years(5.0)};
+  /// Largest residual permanent shift considered "practically zero".
+  Volts residual_budget{0.002};
+};
+
+/// Finds, by bisection on the recovery share, the minimal fraction of each
+/// period that must be spent in active recovery so the end-of-life
+/// permanent component stays within budget. Uses the full calibrated BTI
+/// model (cycle-compressed: the schedule is simulated cycle by cycle).
+[[nodiscard]] BtiSchedule plan_bti_recovery(const BtiPlanningInput& input);
+
+struct EmSchedule {
+  /// Reverse-current interval to insert after every `forward_interval` of
+  /// operation so the line never reaches the critical stress.
+  Seconds forward_interval{0.0};
+  Seconds reverse_interval{0.0};
+  /// Nucleation-time improvement factor vs no recovery (>= 1).
+  double nucleation_margin_factor = 1.0;
+};
+
+struct EmPlanningInput {
+  em::WireGeometry wire{};
+  em::EmMaterialParams material{};
+  AmpsPerM2 operating_density{0.0};
+  Celsius temperature{85.0};
+  Seconds lifetime{years(5.0)};
+  /// Allowed fraction of critical stress at any time (safety margin).
+  double stress_budget = 0.7;
+};
+
+/// Chooses the duty cycle of EM active recovery so the peak line stress
+/// stays below `stress_budget * sigma_crit` across the whole lifetime.
+/// Returns a zero-length reverse interval when the wire is already
+/// immortal (Blech) or never reaches the budget within the lifetime.
+[[nodiscard]] EmSchedule plan_em_recovery(const EmPlanningInput& input);
+
+}  // namespace dh::core

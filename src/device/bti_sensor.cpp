@@ -1,0 +1,31 @@
+#include "device/bti_sensor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::device {
+
+BtiSensor::BtiSensor(RingOscillator ro, BtiSensorParams params, Rng rng)
+    : ro_(ro), params_(params), rng_(rng) {
+  DH_REQUIRE(params_.gate_time.value() > 0.0,
+             "counter gate time must be positive");
+  DH_REQUIRE(params_.relative_noise >= 0.0, "noise must be non-negative");
+}
+
+Hertz BtiSensor::measure_frequency(const BtiModel& device) {
+  const double truth =
+      ro_.frequency(device.delta_vth(), device.mobility_factor()).value();
+  const double noisy =
+      truth * (1.0 + rng_.normal(0.0, params_.relative_noise));
+  // Counter quantization: counts within one gate period.
+  const double resolution = 1.0 / params_.gate_time.value();
+  const double quantized = std::round(noisy / resolution) * resolution;
+  return Hertz{quantized};
+}
+
+Volts BtiSensor::measure_delta_vth(const BtiModel& device) {
+  return ro_.infer_delta_vth(measure_frequency(device));
+}
+
+}  // namespace dh::device

@@ -1,0 +1,85 @@
+// Calibration of the BTI model to the paper's Table I.
+//
+// Derivation sketch (full math in DESIGN.md §5): with attempt time
+// tau0 = 1e-10 s, a 6 h recovery empties every trap whose emission time
+// constant at the recovery condition is below ~t_rec, i.e. whose emission
+// energy lies below the cutoff
+//
+//   Ea* = kT * ( ln(t_rec / tau0) + |V_rec| / V0 )
+//
+// which evaluates to 0.834 eV (20 °C, 0 V), 0.935 eV (20 °C, −0.3 V),
+// 1.090 eV (110 °C, 0 V), and 1.222 eV (110 °C, −0.3 V). The recoverable
+// trap density is therefore laid out in segments between those cutoffs so
+// that the cumulative weight below each cutoff equals the paper's model
+// column (1 % / 14.4 % / 29.2 % / 72.7 % of the *total* shift); the
+// > 27 % that survives even condition No. 4 after a 24 h stress is carried
+// by the locked permanent component. The weights below were fine-tuned
+// numerically (tools/calibrate_bti.cpp) against the exact smooth-decay
+// dynamics rather than the sharp-cutoff approximation.
+#include "device/calibration.hpp"
+
+namespace dh::device {
+
+namespace {
+
+// Fitted recoverable-trap density (emission energy, eV). Segment edges sit
+// at the four recovery cutoffs; the top segment is kept *below* the 1 h
+// No. 4 emission cutoff (1.163 eV) so that a 1 h active accelerated
+// recovery empties every recoverable trap a 1 h stress fills — the Fig. 4
+// balanced-schedule behaviour. The gaps between segments keep the
+// dense segments clear of the neighbouring cutoff smear. The weights are the
+// numerically tuned values printed by tools/calibrate_bti.
+TrapDensity fitted_density() {
+  return TrapDensity{
+      .breakpoints = {0.40, 0.8337, 0.885, 0.9347, 1.000, 1.0896, 1.124,
+                      1.144},
+      .segment_weights = {0.002668, 0.0, 0.384616, 0.0, 0.013495, 0.0,
+                          1.273589},
+  };
+}
+
+}  // namespace
+
+BtiModelParams paper_calibrated_bti_params() {
+  BtiModelParams p;
+  p.ensemble = TrapEnsembleParams{
+      .density = fitted_density(),
+      .tau0_capture_s = 1e-10,
+      .tau0_emission_s = 1e-10,
+      .v0_capture = 0.075,
+      .v0_emission = 0.075,
+      .v0_suppress = 0.075,
+      .delta_ce_ev = 0.4700,
+      .dvth_max = Volts{0.052},
+      .bins = 360,
+  };
+  p.permanent = PermanentComponentParams{
+      .gen_rate_ref_v_per_s = 3.312e-7,
+      .gen_ref_bias = Volts{1.2},
+      .gen_ref_temperature = Celsius{110.0},
+      .gen_v0 = 0.1,
+      .gen_ea = ElectronVolts{0.80},
+      .p_max = Volts{0.060},
+      .k_lock_per_v_s = 0.041,
+      .anneal_tau0_s = 1.4e-8,
+      .anneal_ea = ElectronVolts{1.0},
+      .anneal_v0 = 0.075,
+      .lock_anneal_ratio = 1e-3,
+  };
+  return p;
+}
+
+std::array<TableITarget, 4> table1_targets() {
+  using namespace paper_conditions;
+  return {{
+      {"No. 1 (20C, 0V)", recovery_no1(), 0.010, 0.0066},
+      {"No. 2 (20C, -0.3V)", recovery_no2(), 0.144, 0.167},
+      {"No. 3 (110C, 0V)", recovery_no3(), 0.292, 0.287},
+      {"No. 4 (110C, -0.3V)", recovery_no4(), 0.727, 0.724},
+  }};
+}
+
+Seconds table1_stress_time() { return hours(24.0); }
+Seconds table1_recovery_time() { return hours(6.0); }
+
+}  // namespace dh::device

@@ -1,0 +1,99 @@
+#include "device/compact_bti.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/arrhenius.hpp"
+#include "common/error.hpp"
+
+namespace dh::device {
+
+namespace {
+
+/// First-order relaxation of pool `x` toward `target` with time constant
+/// `tau` over `dt` (exact update).
+double relax(double x, double target, double tau, double dt) {
+  if (tau <= 0.0) return target;
+  return target + (x - target) * std::exp(-dt / tau);
+}
+
+}  // namespace
+
+CompactBti::CompactBti(CompactBtiParams params) : params_(params) {
+  DH_REQUIRE(params_.fast_sat_v > 0.0 && params_.slow_sat_v > 0.0,
+             "pool saturation levels must be positive");
+}
+
+void CompactBti::apply(const BtiCondition& condition, Seconds dt) {
+  DH_REQUIRE(dt.value() >= 0.0, "time step must be non-negative");
+  if (dt.value() == 0.0) return;
+  const Kelvin t = to_kelvin(condition.temperature);
+  const double v = condition.gate_bias.value();
+
+  if (condition.is_stress()) {
+    const double af_t = arrhenius_acceleration(
+        params_.kinetics_ea, t, to_kelvin(params_.stress_ref.temperature));
+    const double af_v =
+        std::exp((v - params_.stress_ref.gate_bias.value()) / params_.v0);
+    const double accel = af_t * af_v;
+    // Saturation level scales strongly with overdrive (the trap ensemble
+    // only fills up to a voltage-dependent energy cutoff; a cubic law
+    // tracks the calibrated model well across 0.6-1.2 V).
+    const double ratio =
+        std::max(0.1, v / params_.stress_ref.gate_bias.value());
+    const double sat_scale = ratio * ratio * ratio;
+    fast_ = relax(fast_, params_.fast_sat_v * sat_scale,
+                  params_.fast_tau_stress_s / accel, dt.value());
+    slow_ = relax(slow_, params_.slow_sat_v * sat_scale,
+                  params_.slow_tau_stress_s / accel, dt.value());
+    // Permanent precursor generation + second-order locking. Generation
+    // carries its own (stronger) voltage acceleration, mirroring the full
+    // model's gen_v0.
+    const double g =
+        params_.gen_rate_ref_v_per_s *
+        arrhenius_acceleration(params_.gen_ea, t,
+                               to_kelvin(params_.stress_ref.temperature)) *
+        std::exp((v - params_.stress_ref.gate_bias.value()) /
+                 params_.gen_v0);
+    const int substeps =
+        std::max(1, static_cast<int>(std::ceil(dt.value() / 300.0)));
+    const double h = dt.value() / substeps;
+    for (int s = 0; s < substeps; ++s) {
+      const double saturation =
+          std::max(0.0, 1.0 - (pu_ + pl_) / params_.p_max_v);
+      const double lock_flux = params_.k_lock_per_v_s * pu_ * pu_;
+      pu_ += h * (g * saturation - lock_flux);
+      pl_ += h * lock_flux;
+      pu_ = std::max(pu_, 0.0);
+    }
+  } else {
+    const double af_t = arrhenius_acceleration(
+        params_.kinetics_ea, t, to_kelvin(params_.recover_ref.temperature));
+    const double v_ref = -params_.recover_ref.gate_bias.value();
+    const double af_v = std::exp((std::max(-v, 0.0) - v_ref) / params_.v0);
+    const double accel = af_t * af_v;
+    fast_ = relax(fast_, 0.0, params_.fast_tau_recover_s / accel, dt.value());
+    slow_ = relax(slow_, 0.0, params_.slow_tau_recover_s / accel, dt.value());
+    const double anneal = params_.anneal_rate_ref_per_s * accel;
+    pu_ *= std::exp(-dt.value() * anneal);
+    pl_ *= std::exp(-dt.value() * anneal * 1e-3);
+  }
+}
+
+void CompactBti::reset() {
+  fast_ = slow_ = pu_ = pl_ = 0.0;
+}
+
+Volts CompactBti::delta_vth() const {
+  return Volts{fast_ + slow_ + pu_ + pl_};
+}
+
+BtiBreakdown CompactBti::breakdown() const {
+  return BtiBreakdown{
+      .recoverable = Volts{fast_ + slow_},
+      .unlocked = Volts{pu_},
+      .locked = Volts{pl_},
+  };
+}
+
+}  // namespace dh::device

@@ -1,0 +1,66 @@
+// The quasi-permanent BTI component and why in-time recovery removes it.
+//
+// Table I shows that even the strongest one-shot recovery (110 °C, −0.3 V)
+// leaves > 27 % of the wearout after a long 24 h stress — yet Fig. 4 shows
+// that *scheduled* 1 h : 1 h stress/recovery cycles keep the permanent
+// component at "practically 0". The model that reconciles both
+// observations (and matches the degradation-reversal literature the paper
+// cites, Grasser IRPS'16): stress generates *precursor* defects that are
+// still annealable, and precursors gradually *lock in* — a second-order
+// (cooperative) process. Sustained stress lets the precursor population
+// sit high for hours and lock; short stress intervals punctuated by active
+// recovery anneal the precursors before meaningful locking happens.
+//
+//   stress:    dP_u/dt = g(V,T) * (1 - (P_u+P_l)/P_max) - k_lock * P_u^2
+//              dP_l/dt = k_lock * P_u^2
+//   recovery:  dP_u/dt = -P_u * r_anneal(V,T)
+//              dP_l/dt = -P_l * r_anneal(V,T) * lock_anneal_ratio
+//
+// r_anneal is thermally activated and field-accelerated just like trap
+// emission, so only the combined high-T + negative-V condition anneals
+// precursors quickly.
+#pragma once
+
+#include "device/bti_types.hpp"
+
+namespace dh::device {
+
+struct PermanentComponentParams {
+  // Generation under stress.
+  double gen_rate_ref_v_per_s = 2.55e-7;  // at the reference stress condition
+  Volts gen_ref_bias{1.2};
+  Celsius gen_ref_temperature{110.0};
+  double gen_v0 = 0.3;             // V per e-fold of generation acceleration
+  ElectronVolts gen_ea{0.80};      // generation activation energy
+  Volts p_max{0.040};              // saturation level of P_u + P_l
+  // Locking (precursor -> permanent), second order in P_u.
+  double k_lock_per_v_s = 0.041;
+  // Annealing of precursors under recovery.
+  double anneal_tau0_s = 1.4e-8;
+  ElectronVolts anneal_ea{1.0};
+  double anneal_v0 = 0.075;        // V per e-fold of anneal acceleration
+  double lock_anneal_ratio = 1e-3; // locked component anneals ~1000x slower
+};
+
+class PermanentComponent {
+ public:
+  explicit PermanentComponent(PermanentComponentParams params);
+
+  void apply(const BtiCondition& condition, Seconds dt);
+  void reset();
+
+  [[nodiscard]] Volts unlocked() const { return Volts{pu_}; }
+  [[nodiscard]] Volts locked() const { return Volts{pl_}; }
+  [[nodiscard]] Volts total() const { return Volts{pu_ + pl_}; }
+
+  [[nodiscard]] const PermanentComponentParams& params() const {
+    return params_;
+  }
+
+ private:
+  PermanentComponentParams params_;
+  double pu_ = 0.0;  // annealable precursor population (V of Vth shift)
+  double pl_ = 0.0;  // locked permanent population (V of Vth shift)
+};
+
+}  // namespace dh::device

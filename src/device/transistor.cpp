@@ -1,0 +1,29 @@
+#include "device/transistor.hpp"
+
+#include <utility>
+
+namespace dh::device {
+
+Transistor::Transistor(TransistorParams params, BtiModel model)
+    : params_(params), model_(std::move(model)) {}
+
+void Transistor::step(bool input_high, Volts supply, Celsius temperature,
+                      Seconds dt) {
+  // A PMOS sees gate-source stress when its gate is driven low (input 0);
+  // an NMOS when driven high. The un-stressed device sits at zero bias
+  // (passive recovery).
+  const bool stressed = params_.polarity == Polarity::kPmos ? !input_high
+                                                            : input_high;
+  const Volts bias = stressed ? supply : Volts{0.0};
+  model_.apply(BtiCondition{bias, temperature}, dt);
+}
+
+void Transistor::apply(const BtiCondition& condition, Seconds dt) {
+  model_.apply(condition, dt);
+}
+
+Volts Transistor::effective_vth() const {
+  return params_.vth0 + model_.delta_vth();
+}
+
+}  // namespace dh::device

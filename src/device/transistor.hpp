@@ -1,0 +1,50 @@
+// A minimal transistor description carrying the BTI-relevant state.
+// NBTI affects PMOS under negative gate stress; PBTI affects NMOS — the
+// assist circuitry (Fig. 8c) selects which one recovers based on the
+// held input value.
+#pragma once
+
+#include "device/bti_model.hpp"
+
+namespace dh::device {
+
+enum class Polarity { kNmos, kPmos };
+
+struct TransistorParams {
+  Polarity polarity = Polarity::kPmos;
+  Volts vth0{0.30};        // fresh threshold magnitude
+  double width_um = 1.0;
+  double length_um = 0.04;
+  double mobility_um2_per_vs = 1.0;  // normalized fresh mobility
+};
+
+/// A transistor with an attached BTI wearout state. The BTI model tracks
+/// |delta Vth|; `effective_vth` reports the aged magnitude.
+class Transistor {
+ public:
+  Transistor(TransistorParams params, BtiModel model);
+
+  /// Age/recover for `dt`. `input_high` selects whether this device is the
+  /// one under bias for its polarity (a PMOS is stressed when its gate is
+  /// low, i.e. input "0"; an NMOS when its gate is high).
+  void step(bool input_high, Volts supply, Celsius temperature, Seconds dt);
+
+  /// Apply an explicit condition (used by recovery controllers that drive
+  /// the gate directly, e.g. the Fig. 8c scheme).
+  void apply(const BtiCondition& condition, Seconds dt);
+
+  [[nodiscard]] Volts effective_vth() const;
+  [[nodiscard]] Volts delta_vth() const { return model_.delta_vth(); }
+  [[nodiscard]] double mobility_factor() const {
+    return model_.mobility_factor();
+  }
+  [[nodiscard]] const TransistorParams& params() const { return params_; }
+  [[nodiscard]] BtiModel& bti() { return model_; }
+  [[nodiscard]] const BtiModel& bti() const { return model_; }
+
+ private:
+  TransistorParams params_;
+  BtiModel model_;
+};
+
+}  // namespace dh::device

@@ -1,0 +1,58 @@
+#include "em/black.hpp"
+
+#include <cmath>
+
+#include "common/arrhenius.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dh::em {
+
+BlackParams BlackParams::from_reference(Seconds ttf_ref, AmpsPerM2 j_ref,
+                                        Celsius t_ref) {
+  BlackParams p;
+  p.ttf_ref = ttf_ref;
+  p.j_ref = j_ref;
+  p.t_ref = t_ref;
+  return p;
+}
+
+BlackModel::BlackModel(BlackParams params) : params_(params) {
+  DH_REQUIRE(params_.ttf_ref.value() > 0.0,
+             "reference TTF must be positive");
+  DH_REQUIRE(std::abs(params_.j_ref.value()) > 0.0,
+             "reference current density must be non-zero");
+  DH_REQUIRE(params_.current_exponent > 0.0,
+             "Black current exponent must be positive");
+}
+
+Seconds BlackModel::median_ttf(AmpsPerM2 j, Celsius t) const {
+  DH_REQUIRE(std::abs(j.value()) > 0.0,
+             "TTF undefined at zero current (wire is immortal)");
+  const double jr = std::abs(j.value() / params_.j_ref.value());
+  const double current_term = std::pow(jr, -params_.current_exponent);
+  // exp(Ea/kT - Ea/kT_ref): hotter -> shorter life.
+  const double temp_term =
+      1.0 / arrhenius_acceleration(params_.ea, to_kelvin(t),
+                                   to_kelvin(params_.t_ref));
+  return Seconds{params_.ttf_ref.value() * current_term * temp_term};
+}
+
+Seconds BlackModel::ttf_quantile(AmpsPerM2 j, Celsius t,
+                                 double fraction) const {
+  const double median = median_ttf(j, t).value();
+  const double z = stats::inverse_normal_cdf(fraction);
+  return Seconds{median * std::exp(params_.sigma_lognormal * z)};
+}
+
+Seconds BlackModel::sample_ttf(AmpsPerM2 j, Celsius t, Rng& rng) const {
+  const double median = median_ttf(j, t).value();
+  return Seconds{rng.lognormal(std::log(median), params_.sigma_lognormal)};
+}
+
+double BlackModel::acceleration_factor(AmpsPerM2 j, Celsius t, AmpsPerM2 j2,
+                                       Celsius t2) const {
+  return median_ttf(j2, t2).value() / median_ttf(j, t).value();
+}
+
+}  // namespace dh::em

@@ -1,0 +1,53 @@
+// Black's equation TTF model with a lognormal failure population — the
+// classical statistical EM lifetime view, used as the baseline that the
+// physics-based Korhonen solver (and the recovery scheduling built on it)
+// is compared against, and by the PDN aging layer for fast per-segment
+// lifetime estimates.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace dh::em {
+
+struct BlackParams {
+  /// Scale constant A chosen so the median TTF equals `ttf_ref` at the
+  /// reference stress condition.
+  Seconds ttf_ref{0.0};
+  AmpsPerM2 j_ref{0.0};
+  Celsius t_ref{25.0};
+  double current_exponent = 2.0;  // n (void-nucleation limited)
+  ElectronVolts ea{0.90};
+  double sigma_lognormal = 0.3;   // population spread of ln(TTF)
+
+  /// Construct from a known median lifetime at a reference condition.
+  [[nodiscard]] static BlackParams from_reference(Seconds ttf_ref,
+                                                  AmpsPerM2 j_ref,
+                                                  Celsius t_ref);
+};
+
+class BlackModel {
+ public:
+  explicit BlackModel(BlackParams params);
+
+  /// Median time-to-failure at the given condition.
+  [[nodiscard]] Seconds median_ttf(AmpsPerM2 j, Celsius t) const;
+
+  /// Lifetime quantile: time by which `fraction` of a population fails.
+  [[nodiscard]] Seconds ttf_quantile(AmpsPerM2 j, Celsius t,
+                                     double fraction) const;
+
+  /// Draw one sample lifetime from the lognormal population.
+  [[nodiscard]] Seconds sample_ttf(AmpsPerM2 j, Celsius t, Rng& rng) const;
+
+  /// Acceleration factor of condition (j, t) relative to (j2, t2).
+  [[nodiscard]] double acceleration_factor(AmpsPerM2 j, Celsius t,
+                                           AmpsPerM2 j2, Celsius t2) const;
+
+  [[nodiscard]] const BlackParams& params() const { return params_; }
+
+ private:
+  BlackParams params_;
+};
+
+}  // namespace dh::em

@@ -1,0 +1,22 @@
+#include "em/em_sensor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::em {
+
+EmSensor::EmSensor(EmSensorParams params, Rng rng)
+    : params_(params), rng_(rng) {
+  DH_REQUIRE(params_.resolution.value() > 0.0,
+             "meter resolution must be positive");
+}
+
+Ohms EmSensor::measure(Ohms r) {
+  const double noisy =
+      r.value() * (1.0 + rng_.normal(0.0, params_.relative_noise));
+  const double q = params_.resolution.value();
+  return Ohms{std::round(noisy / q) * q};
+}
+
+}  // namespace dh::em

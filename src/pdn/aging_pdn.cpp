@@ -1,0 +1,85 @@
+#include "pdn/aging_pdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::pdn {
+
+AgingPdn::AgingPdn(PdnParams pdn_params, em::EmMaterialParams material)
+    : grid_(std::move(pdn_params)), material_(material) {
+  const auto& wire = grid_.params().segment_wire;
+  segment_em_.reserve(grid_.segment_count());
+  for (std::size_t s = 0; s < grid_.segment_count(); ++s) {
+    em::CompactEmParams p;
+    p.wire = wire;
+    p.material = material_;
+    // Reference the pool kinetics to a hot high-load condition so the
+    // Prony time constants straddle the lifetime-relevant range.
+    p.j_ref = mega_amps_per_cm2(4.0);
+    p.t_ref = Celsius{105.0};
+    segment_em_.emplace_back(p);
+  }
+  segment_r_ = grid_.fresh_segment_resistances(Celsius{20.0});
+  immortal_.assign(grid_.segment_count(), false);
+}
+
+void AgingPdn::step(std::span<const double> load_amps, Celsius temperature,
+                    Seconds dt, bool em_recovery_mode) {
+  last_temp_ = temperature;
+  // Refresh aged resistances at this temperature.
+  for (std::size_t s = 0; s < grid_.segment_count(); ++s) {
+    segment_r_[s] = segment_em_[s]
+                        .resistance(temperature)
+                        .value();
+  }
+  last_ = grid_.solve(load_amps, segment_r_);
+
+  const double rho =
+      grid_.params().segment_wire.resistivity_at(to_kelvin(temperature));
+  const double blech_crit = material_.blech_threshold(rho);
+  const double seg_len = grid_.params().segment_wire.length.value();
+
+  for (std::size_t s = 0; s < grid_.segment_count(); ++s) {
+    double current = last_.segment_current[s];
+    if (em_recovery_mode) current = -current;
+    const AmpsPerM2 j = grid_.current_density(current);
+    // Blech immortality filter (physical, and saves work).
+    const double blech = std::abs(j.value()) * seg_len;
+    immortal_[s] = blech < blech_crit;
+    if (immortal_[s] && !segment_em_[s].void_open()) continue;
+    segment_em_[s].step(j, temperature, dt);
+  }
+  elapsed_s_ += dt.value();
+}
+
+const em::CompactEm& AgingPdn::segment_state(std::size_t i) const {
+  DH_REQUIRE(i < segment_em_.size(), "segment index out of range");
+  return segment_em_[i];
+}
+
+AgingPdnStats AgingPdn::stats() const {
+  AgingPdnStats st;
+  st.worst_drop_v = last_.worst_drop_v;
+  for (std::size_t s = 0; s < segment_em_.size(); ++s) {
+    const auto& em = segment_em_[s];
+    st.max_void_len_m = std::max(st.max_void_len_m, em.void_length().value());
+    if (em.void_open() || em.void_length().value() > 0.0) {
+      ++st.nucleated_segments;
+    }
+    if (em.broken()) ++st.broken_segments;
+    if (immortal_[s]) ++st.immortal_segments;
+  }
+  return st;
+}
+
+bool AgingPdn::failed(double drop_limit_fraction) const {
+  if (last_.node_voltage.empty()) return false;
+  const auto st = stats();
+  if (st.broken_segments > 0) return true;
+  return last_.worst_drop_v >
+         drop_limit_fraction * grid_.params().vdd.value();
+}
+
+}  // namespace dh::pdn

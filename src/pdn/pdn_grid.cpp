@@ -1,0 +1,95 @@
+#include "pdn/pdn_grid.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dh::pdn {
+
+PdnGrid::PdnGrid(PdnParams params) : params_(std::move(params)) {
+  DH_REQUIRE(params_.rows >= 2 && params_.cols >= 2,
+             "PDN grid needs at least 2x2 nodes");
+  for (std::size_t r = 0; r < params_.rows; ++r) {
+    for (std::size_t c = 0; c < params_.cols; ++c) {
+      const std::size_t i = r * params_.cols + c;
+      if (c + 1 < params_.cols) segments_.push_back({i, i + 1});
+      if (r + 1 < params_.rows) segments_.push_back({i, i + params_.cols});
+    }
+  }
+  if (params_.pad_nodes.empty()) {
+    pads_ = {node_index(0, 0), node_index(0, params_.cols - 1),
+             node_index(params_.rows - 1, 0),
+             node_index(params_.rows - 1, params_.cols - 1)};
+  } else {
+    pads_ = params_.pad_nodes;
+    for (const std::size_t p : pads_) {
+      DH_REQUIRE(p < node_count(), "pad node out of range");
+    }
+  }
+}
+
+std::size_t PdnGrid::node_index(std::size_t row, std::size_t col) const {
+  DH_REQUIRE(row < params_.rows && col < params_.cols,
+             "node coordinates out of range");
+  return row * params_.cols + col;
+}
+
+const PdnGrid::Segment& PdnGrid::segment(std::size_t i) const {
+  DH_REQUIRE(i < segments_.size(), "segment index out of range");
+  return segments_[i];
+}
+
+std::vector<double> PdnGrid::fresh_segment_resistances(Celsius t) const {
+  const double r = params_.segment_wire.resistance_at(to_kelvin(t)).value();
+  return std::vector<double>(segments_.size(), r);
+}
+
+PdnSolution PdnGrid::solve(std::span<const double> load_amps,
+                           std::span<const double> segment_resistance) const {
+  const std::size_t n = node_count();
+  DH_REQUIRE(load_amps.size() == n, "load vector size mismatch");
+  DH_REQUIRE(segment_resistance.size() == segments_.size(),
+             "segment resistance vector size mismatch");
+  math::Matrix g(n, n, 0.0);
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    DH_REQUIRE(segment_resistance[s] > 0.0,
+               "segment resistance must be positive");
+    const double cond = 1.0 / segment_resistance[s];
+    const auto [a, b] = segments_[s];
+    g(a, a) += cond;
+    g(b, b) += cond;
+    g(a, b) -= cond;
+    g(b, a) -= cond;
+  }
+  const double g_pad = 1.0 / params_.pad_resistance.value();
+  for (const std::size_t p : pads_) {
+    g(p, p) += g_pad;
+    rhs[p] += g_pad * params_.vdd.value();
+  }
+  for (std::size_t i = 0; i < n; ++i) rhs[i] -= load_amps[i];
+
+  PdnSolution sol;
+  sol.node_voltage = math::solve_dense(g, rhs);
+  sol.segment_current.resize(segments_.size());
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const auto [a, b] = segments_[s];
+    sol.segment_current[s] =
+        (sol.node_voltage[a] - sol.node_voltage[b]) / segment_resistance[s];
+  }
+  sol.worst_drop_v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double drop = params_.vdd.value() - sol.node_voltage[i];
+    if (drop > sol.worst_drop_v) {
+      sol.worst_drop_v = drop;
+      sol.worst_node = i;
+    }
+  }
+  return sol;
+}
+
+AmpsPerM2 PdnGrid::current_density(double current_a) const {
+  return AmpsPerM2{current_a / params_.segment_wire.cross_section_m2()};
+}
+
+}  // namespace dh::pdn

@@ -1,0 +1,85 @@
+// On-chip power-delivery-network model: a resistor mesh for the local
+// VDD grid fed from pad/global-network connections, solved for IR drop
+// and per-segment current density. This is the substrate the paper's EM
+// story lives on: "EM is especially critical for power delivery networks"
+// — local grids built in thin lower metals carry high unidirectional DC
+// current density, while the global top-metal grid is wide, thick, and
+// comparatively immortal (Fig. 11).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/math/linalg.hpp"
+#include "common/units.hpp"
+#include "em/wire.hpp"
+
+namespace dh::pdn {
+
+struct PdnParams {
+  std::size_t rows = 8;
+  std::size_t cols = 8;
+  /// Local-layer segment between adjacent grid nodes.
+  em::WireGeometry segment_wire{
+      .length = Meters{200e-6},
+      .width = Meters{0.5e-6},
+      .thickness = Meters{0.2e-6},
+      .resistivity_ref = 2.2e-8,
+      .reference_temperature = Celsius{20.0},
+      .tcr_per_k = 3.93e-3,
+      .liner_ohm_per_m = 2.5e8,
+  };
+  Volts vdd{1.0};
+  /// Resistance from each pad node up through the global grid and bump.
+  Ohms pad_resistance{0.05};
+  /// Pad nodes; empty = the four corners.
+  std::vector<std::size_t> pad_nodes;
+};
+
+struct PdnSolution {
+  std::vector<double> node_voltage;
+  std::vector<double> segment_current;  // signed, node a -> node b
+  double worst_drop_v = 0.0;
+  std::size_t worst_node = 0;
+};
+
+class PdnGrid {
+ public:
+  explicit PdnGrid(PdnParams params);
+
+  [[nodiscard]] std::size_t node_count() const {
+    return params_.rows * params_.cols;
+  }
+  [[nodiscard]] std::size_t node_index(std::size_t row, std::size_t col) const;
+
+  struct Segment {
+    std::size_t a, b;
+  };
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const Segment& segment(std::size_t i) const;
+
+  /// Fresh per-segment resistances at temperature t.
+  [[nodiscard]] std::vector<double> fresh_segment_resistances(
+      Celsius t) const;
+
+  /// Solve the mesh: `load_amps` is the current drawn at each node;
+  /// `segment_resistance` allows aged overrides (same order as segments).
+  [[nodiscard]] PdnSolution solve(
+      std::span<const double> load_amps,
+      std::span<const double> segment_resistance) const;
+
+  /// Current density in a segment carrying `current`.
+  [[nodiscard]] AmpsPerM2 current_density(double current_a) const;
+
+  [[nodiscard]] const PdnParams& params() const { return params_; }
+  [[nodiscard]] const std::vector<std::size_t>& pads() const { return pads_; }
+
+ private:
+  PdnParams params_;
+  std::vector<Segment> segments_;
+  std::vector<std::size_t> pads_;
+};
+
+}  // namespace dh::pdn

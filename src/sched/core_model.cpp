@@ -1,0 +1,90 @@
+#include "sched/core_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::sched {
+
+const char* to_string(CoreAction a) {
+  switch (a) {
+    case CoreAction::kRun:
+      return "run";
+    case CoreAction::kIdle:
+      return "idle";
+    case CoreAction::kBtiActiveRecovery:
+      return "bti-recovery";
+  }
+  return "?";
+}
+
+Core::Core(CoreParams params)
+    : params_(params), bti_(params.bti), ro_(params.ro) {}
+
+void Core::step(CoreAction action, double utilization, Celsius temperature,
+                Seconds dt) {
+  DH_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+             "utilization must be in [0,1]");
+  switch (action) {
+    case CoreAction::kRun: {
+      // Devices see stress for the utilized fraction of the quantum and
+      // passive recovery for the rest (signal-probability averaging).
+      const Seconds stressed{dt.value() * utilization};
+      const Seconds relaxed{dt.value() * (1.0 - utilization)};
+      if (stressed.value() > 0.0) {
+        bti_.apply({params_.vdd, temperature}, stressed);
+      }
+      if (relaxed.value() > 0.0) {
+        bti_.apply({Volts{0.0}, temperature}, relaxed);
+      }
+      break;
+    }
+    case CoreAction::kIdle:
+      bti_.apply({Volts{0.0}, temperature}, dt);
+      break;
+    case CoreAction::kBtiActiveRecovery:
+      bti_.apply({params_.active_recovery_bias, temperature}, dt);
+      break;
+  }
+}
+
+Hertz Core::fmax() const {
+  return ro_.frequency(bti_.delta_vth());
+}
+
+double Core::degradation() const {
+  return ro_.degradation(bti_.delta_vth());
+}
+
+Watts Core::power(CoreAction action, double utilization,
+                  Celsius temperature) const {
+  // Exponential leakage growth, capped: past ~2 e-folds real designs
+  // throttle (and the exponential alone would make the thermal solve
+  // diverge in pathological configurations).
+  const double leak_scale = std::min(
+      8.0, std::exp((temperature.value() - params_.leakage_t_ref.value()) /
+                    params_.leakage_t_efold_k));
+  // BTI raises Vth, which suppresses subthreshold leakage slightly.
+  const double vth_scale =
+      std::exp(-bti_.delta_vth().value() / 0.050);
+  const double leak =
+      params_.leakage_ref.value() * leak_scale * vth_scale;
+  switch (action) {
+    case CoreAction::kRun:
+      return Watts{params_.dynamic_power_peak.value() * utilization + leak};
+    case CoreAction::kIdle:
+      return Watts{0.05 * leak};  // power-gated: residual rail leakage
+    case CoreAction::kBtiActiveRecovery:
+      return Watts{0.08 * leak};  // cross-coupled rails, tiny assist current
+  }
+  return Watts{leak};
+}
+
+Amps Core::supply_current(CoreAction action, double utilization,
+                          Celsius temperature) const {
+  return Amps{power(action, utilization, temperature).value() /
+              params_.vdd.value()};
+}
+
+}  // namespace dh::sched

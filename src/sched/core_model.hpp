@@ -1,0 +1,71 @@
+// A processor core for the lifetime simulator: compact BTI wearout state,
+// alpha-power fmax model, and a power model feeding the thermal grid and
+// PDN.
+#pragma once
+
+#include "common/units.hpp"
+#include "device/compact_bti.hpp"
+#include "device/ring_oscillator.hpp"
+
+namespace dh::sched {
+
+/// Per-step action assigned to a core by the recovery policy.
+enum class CoreAction {
+  kRun,               // execute workload (BTI stress scaled by utilization)
+  kIdle,              // power-gated: passive recovery only
+  kBtiActiveRecovery, // assist circuitry BTI mode: negative bias applied
+};
+
+[[nodiscard]] const char* to_string(CoreAction a);
+
+struct CoreParams {
+  Volts vdd{0.90};
+  Volts active_recovery_bias{-0.30};  // from the assist circuitry
+  device::RingOscillatorParams ro{
+      .stages = 75,
+      .vdd = Volts{0.90},
+      .vth0 = Volts{0.32},
+      .alpha = 1.3,
+      .fresh_frequency = Hertz{2.0e9},
+  };
+  Watts dynamic_power_peak{1.2};  // at utilization 1
+  Watts leakage_ref{0.20};
+  Celsius leakage_t_ref{45.0};
+  double leakage_t_efold_k = 30.0;  // leakage e-folds per 30 K
+  device::CompactBtiParams bti{};
+};
+
+class Core {
+ public:
+  explicit Core(CoreParams params);
+
+  /// Advance one scheduling quantum. `utilization` applies to kRun.
+  void step(CoreAction action, double utilization, Celsius temperature,
+            Seconds dt);
+
+  [[nodiscard]] Volts delta_vth() const { return bti_.delta_vth(); }
+  [[nodiscard]] device::BtiBreakdown bti_breakdown() const {
+    return bti_.breakdown();
+  }
+
+  /// Maximum clock frequency the aged core sustains.
+  [[nodiscard]] Hertz fmax() const;
+  /// Fractional frequency degradation vs fresh (the guardband driver).
+  [[nodiscard]] double degradation() const;
+
+  /// Power drawn under the given action/utilization/temperature.
+  [[nodiscard]] Watts power(CoreAction action, double utilization,
+                            Celsius temperature) const;
+  /// Supply current corresponding to `power`.
+  [[nodiscard]] Amps supply_current(CoreAction action, double utilization,
+                                    Celsius temperature) const;
+
+  [[nodiscard]] const CoreParams& params() const { return params_; }
+
+ private:
+  CoreParams params_;
+  device::CompactBti bti_;
+  device::RingOscillator ro_;
+};
+
+}  // namespace dh::sched

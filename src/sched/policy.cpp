@@ -1,0 +1,164 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dh::sched {
+
+namespace {
+
+class NoRecoveryPolicy final : public RecoveryPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "no-recovery"; }
+  [[nodiscard]] PolicyDecision decide(std::span<const CoreObservation> cores,
+                                      Seconds, Seconds, Rng&) override {
+    PolicyDecision d;
+    d.actions.assign(cores.size(), CoreAction::kRun);
+    return d;
+  }
+};
+
+class PassiveIdlePolicy final : public RecoveryPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "passive-idle"; }
+  [[nodiscard]] PolicyDecision decide(std::span<const CoreObservation> cores,
+                                      Seconds, Seconds, Rng&) override {
+    PolicyDecision d;
+    d.actions.reserve(cores.size());
+    for (const auto& c : cores) {
+      d.actions.push_back(c.demanded_utilization > 0.01 ? CoreAction::kRun
+                                                        : CoreAction::kIdle);
+    }
+    return d;
+  }
+};
+
+class PeriodicActivePolicy final : public RecoveryPolicy {
+ public:
+  explicit PeriodicActivePolicy(PeriodicPolicyParams p) : p_(p) {}
+  [[nodiscard]] std::string name() const override {
+    return "periodic-active";
+  }
+  [[nodiscard]] PolicyDecision decide(std::span<const CoreObservation> cores,
+                                      Seconds now, Seconds, Rng&) override {
+    PolicyDecision d;
+    const double frac =
+        std::fmod(now.value(), p_.period.value()) / p_.period.value();
+    const bool recovery_window = frac >= 1.0 - p_.bti_recovery_fraction;
+    for (const auto& c : cores) {
+      if (recovery_window) {
+        d.actions.push_back(CoreAction::kBtiActiveRecovery);
+      } else {
+        d.actions.push_back(c.demanded_utilization > 0.01
+                                ? CoreAction::kRun
+                                : CoreAction::kBtiActiveRecovery);
+      }
+    }
+    // EM recovery alternates during the operating window (the system stays
+    // up in EM mode, so this costs only the mode-switch overhead).
+    const double op_frac = frac / std::max(1e-9, 1.0 - p_.bti_recovery_fraction);
+    d.em_recovery_mode =
+        !recovery_window &&
+        std::fmod(op_frac * 10.0, 1.0) < p_.em_recovery_duty;
+    return d;
+  }
+
+ private:
+  PeriodicPolicyParams p_;
+};
+
+class AdaptiveSensorPolicy final : public RecoveryPolicy {
+ public:
+  explicit AdaptiveSensorPolicy(AdaptivePolicyParams p) : p_(p) {}
+  [[nodiscard]] std::string name() const override {
+    return "adaptive-sensor";
+  }
+  [[nodiscard]] PolicyDecision decide(std::span<const CoreObservation> cores,
+                                      Seconds now, Seconds dt,
+                                      Rng&) override {
+    if (in_recovery_.size() != cores.size()) {
+      in_recovery_.assign(cores.size(), false);
+    }
+    PolicyDecision d;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      const double dvth = cores[i].sensed_dvth.value();
+      if (!in_recovery_[i] && dvth >= p_.threshold.value()) {
+        in_recovery_[i] = true;
+      } else if (in_recovery_[i] && dvth <= p_.release.value()) {
+        in_recovery_[i] = false;
+      }
+      d.actions.push_back(in_recovery_[i] ? CoreAction::kBtiActiveRecovery
+                          : cores[i].demanded_utilization > 0.01
+                              ? CoreAction::kRun
+                              : CoreAction::kIdle);
+    }
+    // Duty-cycled EM recovery, phase-locked to wall time.
+    const double cycle = std::fmod(now.value() / dt.value(), 10.0);
+    d.em_recovery_mode = cycle < 10.0 * p_.em_recovery_duty;
+    return d;
+  }
+
+ private:
+  AdaptivePolicyParams p_;
+  std::vector<bool> in_recovery_;
+};
+
+class DarkSiliconPolicy final : public RecoveryPolicy {
+ public:
+  explicit DarkSiliconPolicy(RotationPolicyParams p) : p_(p) {}
+  [[nodiscard]] std::string name() const override {
+    return "dark-silicon-rotation";
+  }
+  [[nodiscard]] PolicyDecision decide(std::span<const CoreObservation> cores,
+                                      Seconds now, Seconds dt,
+                                      Rng&) override {
+    PolicyDecision d;
+    const std::size_t n = cores.size();
+    const std::size_t spares = std::min(p_.spares, n > 1 ? n - 1 : 0);
+    const auto rotation = static_cast<std::size_t>(
+        now.value() / p_.rotation_period.value());
+    d.actions.assign(n, CoreAction::kRun);
+    for (std::size_t k = 0; k < spares; ++k) {
+      // Spread the parked cores across the array, walking each period.
+      const std::size_t parked = (rotation + k * (n / std::max<std::size_t>(
+                                                          spares, 1))) %
+                                 n;
+      d.actions[parked] = CoreAction::kBtiActiveRecovery;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d.actions[i] == CoreAction::kRun &&
+          cores[i].demanded_utilization <= 0.01) {
+        d.actions[i] = CoreAction::kIdle;
+      }
+    }
+    const double cycle = std::fmod(now.value() / dt.value(), 10.0);
+    d.em_recovery_mode = cycle < 10.0 * p_.em_recovery_duty;
+    return d;
+  }
+
+ private:
+  RotationPolicyParams p_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecoveryPolicy> make_no_recovery_policy() {
+  return std::make_unique<NoRecoveryPolicy>();
+}
+std::unique_ptr<RecoveryPolicy> make_passive_idle_policy() {
+  return std::make_unique<PassiveIdlePolicy>();
+}
+std::unique_ptr<RecoveryPolicy> make_periodic_active_policy(
+    PeriodicPolicyParams params) {
+  return std::make_unique<PeriodicActivePolicy>(params);
+}
+std::unique_ptr<RecoveryPolicy> make_adaptive_sensor_policy(
+    AdaptivePolicyParams params) {
+  return std::make_unique<AdaptiveSensorPolicy>(params);
+}
+std::unique_ptr<RecoveryPolicy> make_dark_silicon_policy(
+    RotationPolicyParams params) {
+  return std::make_unique<DarkSiliconPolicy>(params);
+}
+
+}  // namespace dh::sched

@@ -1,0 +1,190 @@
+#include "sched/system_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::sched {
+
+namespace {
+
+thermal::ThermalGridParams match_thermal(thermal::ThermalGridParams t,
+                                         std::size_t rows,
+                                         std::size_t cols) {
+  t.rows = rows;
+  t.cols = cols;
+  return t;
+}
+
+pdn::PdnParams match_pdn(pdn::PdnParams p, std::size_t rows,
+                         std::size_t cols) {
+  p.rows = rows;
+  p.cols = cols;
+  p.pad_nodes.clear();  // default corner pads for the matched size
+  return p;
+}
+
+}  // namespace
+
+SystemSimulator::SystemSimulator(SystemParams params,
+                                 std::unique_ptr<RecoveryPolicy> policy)
+    : params_(params),
+      policy_(std::move(policy)),
+      thermal_(match_thermal(params.thermal, params.rows, params.cols)),
+      pdn_(match_pdn(params.pdn, params.rows, params.cols),
+           params.em_material),
+      rng_(params.seed) {
+  DH_REQUIRE(policy_ != nullptr, "a recovery policy is required");
+  DH_REQUIRE(params_.rows >= 2 && params_.cols >= 2,
+             "system needs at least a 2x2 core grid");
+  const std::size_t n = params_.rows * params_.cols;
+  cores_.reserve(n);
+  workloads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cores_.emplace_back(params_.core);
+    WorkloadParams w = params_.workload;
+    // De-phase cores so the array is not in lockstep.
+    w.phase = Seconds{w.period.value() * static_cast<double>(i) /
+                      static_cast<double>(n)};
+    workloads_.emplace_back(w);
+  }
+}
+
+const Core& SystemSimulator::core(std::size_t i) const {
+  DH_REQUIRE(i < cores_.size(), "core index out of range");
+  return cores_[i];
+}
+
+void SystemSimulator::step() {
+  const std::size_t n = cores_.size();
+  const Seconds dt = params_.quantum;
+
+  // 1. Demand.
+  std::vector<double> demand(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    demand[i] = workloads_[i].sample(Seconds{now_s_}, rng_);
+  }
+
+  // 2. Observations + policy.
+  std::vector<CoreObservation> obs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double noise = rng_.normal(0.0, params_.sensor_noise.value());
+    obs[i].sensed_dvth =
+        Volts{std::max(0.0, cores_[i].delta_vth().value() + noise)};
+    obs[i].temperature = thermal_.temperature(i);
+    obs[i].demanded_utilization = demand[i];
+  }
+  PolicyDecision decision = policy_->decide(obs, Seconds{now_s_}, dt, rng_);
+  DH_REQUIRE(decision.actions.size() == n,
+             "policy returned wrong action count");
+
+  // 3. Workload migration: demand of non-running cores spreads across the
+  // running ones (capped at full utilization).
+  std::vector<double> util(n, 0.0);
+  double displaced = 0.0;
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (decision.actions[i] == CoreAction::kRun) {
+      util[i] = demand[i];
+      ++running;
+    } else {
+      displaced += demand[i];
+    }
+  }
+  if (running > 0 && displaced > 0.0) {
+    // Fill headroom evenly (single pass; remaining demand is dropped and
+    // shows up as lost availability).
+    const double share = displaced / static_cast<double>(running);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (decision.actions[i] == CoreAction::kRun) {
+        const double add = std::min(share, 1.0 - util[i]);
+        util[i] += add;
+        displaced -= add;
+      }
+    }
+  }
+
+  // 4. Thermal.
+  std::vector<double> power(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    power[i] = cores_[i]
+                   .power(decision.actions[i], util[i],
+                          thermal_.temperature(i))
+                   .value();
+  }
+  thermal_.set_power_map(power);
+  thermal_.solve_steady();
+
+  // 5. Core aging at tile temperature.
+  double delivered = 0.0;
+  double demanded = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Celsius t = thermal_.temperature(i);
+    cores_[i].step(decision.actions[i], util[i], t, dt);
+    demanded += demand[i];
+    if (decision.actions[i] == CoreAction::kRun) {
+      // Throughput delivered scales with the aged clock.
+      delivered += util[i] * (1.0 - cores_[i].degradation());
+    }
+    energy_j_ += power[i] * dt.value();
+  }
+  demanded_acc_ += demanded;
+  delivered_acc_ += std::min(delivered, demanded);
+
+  // 6. PDN aging.
+  std::vector<double> loads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loads[i] = cores_[i]
+                   .supply_current(decision.actions[i], util[i],
+                                   thermal_.temperature(i))
+                   .value();
+  }
+  pdn_.step(loads, thermal_.max_temperature(), dt,
+            decision.em_recovery_mode);
+  if (first_failure_s_ < 0.0 && pdn_.failed()) {
+    first_failure_s_ = now_s_ + dt.value();
+  }
+
+  // 7. Metrics.
+  now_s_ += dt.value();
+  double worst_deg = 0.0;
+  for (const auto& c : cores_) {
+    worst_deg = std::max(worst_deg, c.degradation());
+  }
+  guardband_ = std::max(guardband_, worst_deg);
+  temp_acc_ += thermal_.mean_temperature().value();
+  ++steps_;
+  degradation_trace_.append(Seconds{now_s_}, worst_deg);
+  ir_drop_trace_.append(Seconds{now_s_}, pdn_.stats().worst_drop_v);
+  temperature_trace_.append(Seconds{now_s_},
+                            thermal_.max_temperature().value());
+}
+
+void SystemSimulator::run(Seconds lifetime) {
+  DH_REQUIRE(lifetime.value() > 0.0, "lifetime must be positive");
+  while (now_s_ < lifetime.value()) {
+    step();
+  }
+}
+
+SystemSummary SystemSimulator::summary() const {
+  SystemSummary s;
+  s.guardband_fraction = guardband_;
+  s.final_degradation = degradation_trace_.empty()
+                            ? 0.0
+                            : degradation_trace_.back_value();
+  s.time_to_failure = Seconds{first_failure_s_};
+  s.mean_throughput =
+      steps_ == 0 ? 0.0
+                  : delivered_acc_ / static_cast<double>(steps_);
+  s.availability =
+      demanded_acc_ > 0.0 ? delivered_acc_ / demanded_acc_ : 1.0;
+  s.energy_joules = energy_j_;
+  s.mean_temperature_c =
+      steps_ == 0 ? 0.0 : temp_acc_ / static_cast<double>(steps_);
+  s.pdn_stats = pdn_.stats();
+  return s;
+}
+
+}  // namespace dh::sched

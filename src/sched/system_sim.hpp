@@ -1,0 +1,111 @@
+// Lifetime simulator of a many-core system with BTI+EM wearout, thermal
+// coupling, a PDN, sensors, and a pluggable recovery policy — the
+// quantitative version of the paper's Fig. 12.
+//
+// Each scheduling quantum:
+//   1. workloads produce per-core demand,
+//   2. the policy (given sensor observations) assigns actions and decides
+//      whether the assist circuitry runs the grid in EM recovery mode,
+//   3. demand of non-running cores migrates to running ones,
+//   4. the power map feeds the thermal grid (steady-state per quantum —
+//      thermal time constants are far below the quantum),
+//   5. cores age/recover at their tile temperatures (compact BTI),
+//   6. the PDN ages at its per-segment current densities (compact EM),
+//   7. metrics are recorded.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time_series.hpp"
+#include "common/units.hpp"
+#include "em/material.hpp"
+#include "pdn/aging_pdn.hpp"
+#include "sched/core_model.hpp"
+#include "sched/policy.hpp"
+#include "sched/workload.hpp"
+#include "thermal/thermal_grid.hpp"
+
+namespace dh::sched {
+
+struct SystemParams {
+  std::size_t rows = 4;
+  std::size_t cols = 4;
+  CoreParams core{};
+  WorkloadParams workload{};
+  thermal::ThermalGridParams thermal{};  // rows/cols overridden to match
+  pdn::PdnParams pdn{};                  // rows/cols overridden to match
+  em::EmMaterialParams em_material{};
+  Seconds quantum{hours(6.0)};
+  Volts sensor_noise{0.0005};
+  std::uint64_t seed = 42;
+};
+
+struct SystemSummary {
+  /// Worst fractional fmax degradation ever observed across cores — the
+  /// timing guardband a designer must provision.
+  double guardband_fraction = 0.0;
+  /// Degradation at end of life (after any final recovery).
+  double final_degradation = 0.0;
+  Seconds time_to_failure{-1.0};  // first PDN failure; negative = survived
+  double mean_throughput = 0.0;   // delivered / demanded core-utilization
+  double availability = 0.0;      // fraction of demand served
+  double energy_joules = 0.0;
+  double mean_temperature_c = 0.0;
+  pdn::AgingPdnStats pdn_stats{};
+};
+
+class SystemSimulator {
+ public:
+  SystemSimulator(SystemParams params,
+                  std::unique_ptr<RecoveryPolicy> policy);
+
+  /// Advance one scheduling quantum.
+  void step();
+
+  /// Run until `lifetime` has elapsed.
+  void run(Seconds lifetime);
+
+  [[nodiscard]] Seconds now() const { return Seconds{now_s_}; }
+  [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
+  [[nodiscard]] const Core& core(std::size_t i) const;
+  [[nodiscard]] const RecoveryPolicy& policy() const { return *policy_; }
+
+  /// Max fractional degradation across cores vs time.
+  [[nodiscard]] const TimeSeries& degradation_trace() const {
+    return degradation_trace_;
+  }
+  /// Worst PDN IR drop vs time.
+  [[nodiscard]] const TimeSeries& ir_drop_trace() const {
+    return ir_drop_trace_;
+  }
+  /// Hottest tile temperature vs time.
+  [[nodiscard]] const TimeSeries& temperature_trace() const {
+    return temperature_trace_;
+  }
+
+  [[nodiscard]] SystemSummary summary() const;
+
+ private:
+  SystemParams params_;
+  std::unique_ptr<RecoveryPolicy> policy_;
+  std::vector<Core> cores_;
+  std::vector<Workload> workloads_;
+  thermal::ThermalGrid thermal_;
+  pdn::AgingPdn pdn_;
+  Rng rng_;
+  double now_s_ = 0.0;
+  double demanded_acc_ = 0.0;
+  double delivered_acc_ = 0.0;
+  double energy_j_ = 0.0;
+  double temp_acc_ = 0.0;
+  std::size_t steps_ = 0;
+  double guardband_ = 0.0;
+  double first_failure_s_ = -1.0;
+  TimeSeries degradation_trace_{"max_degradation", "frac"};
+  TimeSeries ir_drop_trace_{"worst_ir_drop", "V"};
+  TimeSeries temperature_trace_{"max_temp", "C"};
+};
+
+}  // namespace dh::sched

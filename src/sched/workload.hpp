@@ -1,0 +1,43 @@
+// Workload generators: per-core utilization traces for the lifetime
+// simulator. The paper's system-level story spans always-on server-class
+// load, periodic duty-cycled IoT operation, and bursty interactive work —
+// each gives recovery scheduling different amounts of intrinsic OFF time
+// to exploit.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace dh::sched {
+
+enum class WorkloadKind {
+  kConstant,       // steady utilization
+  kPeriodic,       // on/off square wave (e.g. duty-cycled sensor node)
+  kBursty,         // two-state Markov bursts
+  kDiurnal,        // day/night sinusoidal profile
+};
+
+struct WorkloadParams {
+  WorkloadKind kind = WorkloadKind::kConstant;
+  double utilization = 0.7;   // mean / on-state utilization
+  Seconds period{hours(24.0)};
+  double duty = 0.5;          // periodic: fraction of period on
+  double burst_switch_prob = 0.2;  // bursty: per-step state flip probability
+  Seconds phase{0.0};         // offset so cores are not in lockstep
+};
+
+class Workload {
+ public:
+  explicit Workload(WorkloadParams params);
+
+  /// Utilization demanded in the step starting at `now`.
+  [[nodiscard]] double sample(Seconds now, Rng& rng);
+
+  [[nodiscard]] const WorkloadParams& params() const { return params_; }
+
+ private:
+  WorkloadParams params_;
+  bool burst_on_ = true;
+};
+
+}  // namespace dh::sched

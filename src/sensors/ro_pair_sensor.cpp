@@ -1,0 +1,59 @@
+#include "sensors/ro_pair_sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::sensors {
+
+RoPairSensor::RoPairSensor(RoPairSensorParams params, Rng rng)
+    : params_(params),
+      ro_(params.ro),
+      stressed_(params.bti),
+      reference_(params.bti),
+      rng_(rng) {
+  DH_REQUIRE(params_.gate_time.value() > 0.0,
+             "counter gate time must be positive");
+}
+
+void RoPairSensor::step(double stress_duty, Volts supply_bias,
+                        Celsius temperature, Seconds dt) {
+  DH_REQUIRE(stress_duty >= 0.0 && stress_duty <= 1.0,
+             "stress duty must be in [0,1]");
+  const Seconds on{dt.value() * stress_duty};
+  const Seconds off{dt.value() * (1.0 - stress_duty)};
+  if (on.value() > 0.0) {
+    stressed_.apply({supply_bias, temperature}, on);
+  }
+  if (off.value() > 0.0) {
+    stressed_.apply({Volts{0.0}, temperature}, off);
+  }
+  // The reference RO spends the whole quantum in active recovery, so it
+  // stays effectively fresh for the sensor's lifetime.
+  reference_.apply({params_.recovery_bias, temperature}, dt);
+}
+
+double RoPairSensor::quantized_frequency(const device::CompactBti& dev) {
+  const double truth = ro_.frequency(dev.delta_vth()).value();
+  const double noisy =
+      truth * (1.0 + rng_.normal(0.0, params_.relative_noise));
+  const double resolution = 1.0 / params_.gate_time.value();
+  return std::round(noisy / resolution) * resolution;
+}
+
+Volts RoPairSensor::measure() {
+  const double f_stressed = quantized_frequency(stressed_);
+  const double f_reference = quantized_frequency(reference_);
+  // Invert the differential readout through the RO model: the reference
+  // defines "fresh" even if the absolute frequency drifted.
+  const double scale =
+      ro_.params().fresh_frequency.value() / std::max(f_reference, 1.0);
+  return ro_.infer_delta_vth(Hertz{f_stressed * scale});
+}
+
+Volts RoPairSensor::true_dvth() const {
+  return stressed_.delta_vth() - reference_.delta_vth();
+}
+
+}  // namespace dh::sensors

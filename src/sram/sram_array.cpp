@@ -1,0 +1,83 @@
+#include "sram/sram_array.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dh::sram {
+
+SramArray::SramArray(SramArrayParams params)
+    : params_(params), rng_(params.seed) {
+  DH_REQUIRE(params_.cells >= 1, "array needs at least one cell");
+  DH_REQUIRE(params_.p_one >= 0.0 && params_.p_one <= 1.0,
+             "p_one must be a probability");
+  cells_.reserve(params_.cells);
+  bits_.reserve(params_.cells);
+  for (std::size_t i = 0; i < params_.cells; ++i) {
+    cells_.emplace_back(params_.cell);
+    bits_.push_back(rng_.bernoulli(params_.p_one));
+  }
+}
+
+void SramArray::step(Celsius temperature, Seconds dt,
+                     double boost_fraction) {
+  DH_REQUIRE(boost_fraction >= 0.0 && boost_fraction <= 1.0,
+             "boost fraction must be in [0,1]");
+  const Seconds hold{dt.value() * (1.0 - boost_fraction)};
+  const Seconds boost{dt.value() * boost_fraction};
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (params_.pattern == DataPattern::kFlipping) {
+      bits_[i] = rng_.bernoulli(params_.p_one);
+    }
+    if (hold.value() > 0.0) {
+      cells_[i].step(CellMode::kHold, bits_[i], temperature, hold);
+    }
+    if (boost.value() > 0.0) {
+      cells_[i].step(CellMode::kRecoveryBoost, bits_[i], temperature,
+                     boost);
+    }
+  }
+}
+
+SramArrayHealth SramArray::scan_health() const {
+  SramArrayHealth h;
+  h.worst_snm = Volts{1e9};
+  double acc = 0.0;
+  for (const auto& c : cells_) {
+    const Volts snm = c.hold_snm();
+    h.worst_snm = std::min(h.worst_snm, snm);
+    acc += snm.value();
+    h.worst_pmos_dvth = std::max(
+        {h.worst_pmos_dvth, c.left_pmos_dvth(), c.right_pmos_dvth()});
+  }
+  h.mean_snm = Volts{acc / static_cast<double>(cells_.size())};
+  return h;
+}
+
+SramArrayHealth SramArray::worst_cell_health() const {
+  // The hold SNM is governed by the *asymmetry* between the two pull-ups;
+  // find the most asymmetric cell and compute only its SNM.
+  const SramCell* worst = &cells_.front();
+  double worst_asym = -1.0;
+  SramArrayHealth h;
+  for (const auto& c : cells_) {
+    const double asym = std::abs(c.left_pmos_dvth().value() -
+                                 c.right_pmos_dvth().value());
+    if (asym > worst_asym) {
+      worst_asym = asym;
+      worst = &c;
+    }
+    h.worst_pmos_dvth = std::max(
+        {h.worst_pmos_dvth, c.left_pmos_dvth(), c.right_pmos_dvth()});
+  }
+  h.worst_snm = worst->hold_snm();
+  h.mean_snm = h.worst_snm;  // proxy scan does not average
+  return h;
+}
+
+const SramCell& SramArray::cell(std::size_t i) const {
+  DH_REQUIRE(i < cells_.size(), "cell index out of range");
+  return cells_[i];
+}
+
+}  // namespace dh::sram

@@ -1,0 +1,159 @@
+#include "sram/sram_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/mna.hpp"
+#include "common/error.hpp"
+#include "common/math/interp.hpp"
+
+namespace dh::sram {
+
+SramCell::SramCell(SramCellParams params)
+    : params_(params),
+      left_pmos_(params.bti),
+      right_pmos_(params.bti) {
+  DH_REQUIRE(params_.vdd.value() > params_.pmos_vth,
+             "supply must exceed the PMOS threshold");
+}
+
+void SramCell::step(CellMode mode, bool stored_bit, Celsius temperature,
+                    Seconds dt) {
+  switch (mode) {
+    case CellMode::kHold: {
+      // The PMOS on the "1" side conducts: |Vsg| = VDD (NBTI stress).
+      const device::BtiCondition stressed{params_.vdd, temperature};
+      const device::BtiCondition resting{Volts{0.0}, temperature};
+      left_pmos_.apply(stored_bit ? stressed : resting, dt);
+      right_pmos_.apply(stored_bit ? resting : stressed, dt);
+      break;
+    }
+    case CellMode::kRecoveryBoost: {
+      const device::BtiCondition boost{params_.recovery_bias, temperature};
+      left_pmos_.apply(boost, dt);
+      right_pmos_.apply(boost, dt);
+      break;
+    }
+  }
+}
+
+Volts SramCell::left_pmos_dvth() const { return left_pmos_.delta_vth(); }
+Volts SramCell::right_pmos_dvth() const { return right_pmos_.delta_vth(); }
+
+std::vector<double> inverter_vtc(const SramCellParams& params,
+                                 Volts pmos_dvth, Volts nmos_dvth,
+                                 const std::vector<double>& vin) {
+  std::vector<double> out;
+  out.reserve(vin.size());
+  for (const double v : vin) {
+    circuit::Circuit c;
+    const auto vdd = c.add_node("vdd");
+    const auto in = c.add_node("in");
+    const auto o = c.add_node("out");
+    (void)c.add_voltage_source(vdd, circuit::Circuit::ground(),
+                               circuit::Waveform::dc(params.vdd.value()));
+    (void)c.add_voltage_source(in, circuit::Circuit::ground(),
+                               circuit::Waveform::dc(v));
+    circuit::MosfetParams p;
+    p.polarity = circuit::MosPolarity::kPmos;
+    p.vth = params.pmos_vth + pmos_dvth.value();
+    p.beta = params.pmos_beta;
+    circuit::MosfetParams n;
+    n.polarity = circuit::MosPolarity::kNmos;
+    n.vth = params.nmos_vth + nmos_dvth.value();
+    n.beta = params.nmos_beta;
+    (void)c.add_mosfet(p, in, o, vdd);
+    (void)c.add_mosfet(n, in, o, circuit::Circuit::ground());
+    out.push_back(c.solve_dc().voltage(o));
+  }
+  return out;
+}
+
+namespace {
+
+/// Inverts a monotonically *decreasing* tabulated VTC: returns y with
+/// f(y) = x (clamped).
+double invert_decreasing(const std::vector<double>& xs,
+                         const std::vector<double>& fs, double target) {
+  // Reverse so the table is increasing in f.
+  std::vector<double> f_rev(fs.rbegin(), fs.rend());
+  std::vector<double> x_rev(xs.rbegin(), xs.rend());
+  // Enforce strictly increasing f for the interpolator.
+  for (std::size_t i = 1; i < f_rev.size(); ++i) {
+    if (f_rev[i] <= f_rev[i - 1]) f_rev[i] = f_rev[i - 1] + 1e-12;
+  }
+  return math::interp_linear(f_rev, x_rev, target);
+}
+
+/// Largest square of side s that fits in the lobe where curve A
+/// (y = f_a(x)) lies above the inverse of curve B. Both boundaries are
+/// decreasing, so the square [x, x+s] x [y, y+s] fits iff
+/// f_a(x+s) - f_b^{-1}(x) >= s.
+double lobe_square(const std::vector<double>& vin,
+                   const std::vector<double>& f_a,
+                   const std::vector<double>& f_b) {
+  const double vmax = vin.back();
+  auto fits = [&](double s) {
+    for (int k = 0; k <= 160; ++k) {
+      const double x = (vmax - s) * k / 160.0;
+      const double top = math::interp_linear(vin, f_a, x + s);
+      const double bottom = invert_decreasing(vin, f_b, x);
+      if (top - bottom >= s) return true;
+    }
+    return false;
+  };
+  double lo = 0.0;
+  double hi = vmax;
+  if (!fits(1e-6)) return 0.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (fits(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+double snm_from_vtcs(const std::vector<double>& vin,
+                     const std::vector<double>& vtc1,
+                     const std::vector<double>& vtc2) {
+  DH_REQUIRE(vin.size() == vtc1.size() && vin.size() == vtc2.size() &&
+                 vin.size() >= 4,
+             "VTC tables must match and have >= 4 points");
+  // The butterfly has two lobes; the hold SNM is the side of the largest
+  // square embedded in the *smaller* lobe. Lobe 1: curve A above B's
+  // inverse; lobe 2: the mirror case with the roles swapped.
+  const double lobe1 = lobe_square(vin, vtc1, vtc2);
+  const double lobe2 = lobe_square(vin, vtc2, vtc1);
+  return std::min(lobe1, lobe2);
+}
+
+namespace {
+
+double cell_snm(const SramCellParams& params, Volts left_dvth,
+                Volts right_dvth) {
+  const auto vin = math::linspace(0.0, params.vdd.value(), 41);
+  // In the cross-coupled pair, the inverter driving Q uses the left
+  // PMOS and the one driving Qb uses the right PMOS. PBTI on the NMOS
+  // devices is second order for hold SNM and held fresh here.
+  const auto f1 = inverter_vtc(params, left_dvth, Volts{0.0}, vin);
+  const auto f2 = inverter_vtc(params, right_dvth, Volts{0.0}, vin);
+  return snm_from_vtcs(vin, f1, f2);
+}
+
+}  // namespace
+
+Volts SramCell::hold_snm() const {
+  return Volts{cell_snm(params_, left_pmos_.delta_vth(),
+                        right_pmos_.delta_vth())};
+}
+
+Volts SramCell::fresh_snm() const {
+  return Volts{cell_snm(params_, Volts{0.0}, Volts{0.0})};
+}
+
+}  // namespace dh::sram

@@ -1,0 +1,100 @@
+#include "thermal/thermal_grid.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dh::thermal {
+
+ThermalGrid::ThermalGrid(ThermalGridParams params) : params_(params) {
+  DH_REQUIRE(params_.rows >= 1 && params_.cols >= 1, "grid must be non-empty");
+  DH_REQUIRE(params_.vertical_g_w_per_k > 0.0,
+             "package conductance must be positive");
+  power_.assign(tile_count(), 0.0);
+  temp_rise_.assign(tile_count(), 0.0);
+  build_conductance();
+}
+
+std::size_t ThermalGrid::index(std::size_t row, std::size_t col) const {
+  DH_REQUIRE(row < params_.rows && col < params_.cols,
+             "tile coordinates out of range");
+  return row * params_.cols + col;
+}
+
+void ThermalGrid::build_conductance() {
+  const std::size_t n = tile_count();
+  g_ = math::Matrix(n, n, 0.0);
+  // Lateral conductance between adjacent tiles: k * (w * t) / w = k * t.
+  const double g_lat =
+      params_.k_silicon_w_per_mk * params_.die_thickness.value();
+  for (std::size_t r = 0; r < params_.rows; ++r) {
+    for (std::size_t c = 0; c < params_.cols; ++c) {
+      const std::size_t i = r * params_.cols + c;
+      g_(i, i) += params_.vertical_g_w_per_k;
+      const auto couple = [&](std::size_t j) {
+        g_(i, i) += g_lat;
+        g_(i, j) -= g_lat;
+      };
+      if (r + 1 < params_.rows) couple(i + params_.cols);
+      if (r > 0) couple(i - params_.cols);
+      if (c + 1 < params_.cols) couple(i + 1);
+      if (c > 0) couple(i - 1);
+    }
+  }
+  steady_lu_ = std::make_unique<math::LuFactorization>(g_);
+  transient_lu_.reset();
+  transient_dt_ = -1.0;
+}
+
+void ThermalGrid::set_power(std::size_t tile, Watts p) {
+  DH_REQUIRE(tile < tile_count(), "tile index out of range");
+  DH_REQUIRE(p.value() >= 0.0, "power must be non-negative");
+  power_[tile] = p.value();
+}
+
+void ThermalGrid::set_power_map(std::span<const double> watts) {
+  DH_REQUIRE(watts.size() == tile_count(), "power map size mismatch");
+  for (std::size_t i = 0; i < watts.size(); ++i) {
+    DH_REQUIRE(watts[i] >= 0.0, "power must be non-negative");
+    power_[i] = watts[i];
+  }
+}
+
+void ThermalGrid::solve_steady() { temp_rise_ = steady_lu_->solve(power_); }
+
+void ThermalGrid::step(Seconds dt) {
+  DH_REQUIRE(dt.value() > 0.0, "time step must be positive");
+  const std::size_t n = tile_count();
+  if (transient_dt_ != dt.value() || transient_lu_ == nullptr) {
+    math::Matrix a = g_;
+    const double c_dt = params_.tile_heat_capacity_j_per_k / dt.value();
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += c_dt;
+    transient_lu_ = std::make_unique<math::LuFactorization>(a);
+    transient_dt_ = dt.value();
+  }
+  std::vector<double> rhs(n);
+  const double c_dt = params_.tile_heat_capacity_j_per_k / dt.value();
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = power_[i] + c_dt * temp_rise_[i];
+  }
+  temp_rise_ = transient_lu_->solve(rhs);
+}
+
+Celsius ThermalGrid::temperature(std::size_t tile) const {
+  DH_REQUIRE(tile < tile_count(), "tile index out of range");
+  return Celsius{params_.ambient.value() + temp_rise_[tile]};
+}
+
+Celsius ThermalGrid::max_temperature() const {
+  const double m = *std::max_element(temp_rise_.begin(), temp_rise_.end());
+  return Celsius{params_.ambient.value() + m};
+}
+
+Celsius ThermalGrid::mean_temperature() const {
+  double acc = 0.0;
+  for (const double t : temp_rise_) acc += t;
+  return Celsius{params_.ambient.value() +
+                 acc / static_cast<double>(tile_count())};
+}
+
+}  // namespace dh::thermal

@@ -1,0 +1,69 @@
+// HotSpot-style 2-D thermal RC grid of the die.
+//
+// Each floorplan tile couples laterally to its neighbours through silicon
+// and vertically to the heat sink/ambient through the package. Used by the
+// system-level simulator for two things the paper calls out: (1) wearout
+// acceleration with local temperature, and (2) *heat-assisted recovery* —
+// an idle core parked next to hot neighbours recovers faster because its
+// temperature rides up on theirs (Fig. 12a).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/math/linalg.hpp"
+#include "common/units.hpp"
+
+namespace dh::thermal {
+
+struct ThermalGridParams {
+  std::size_t rows = 4;
+  std::size_t cols = 4;
+  Meters tile_width{1e-3};          // square tiles
+  Meters die_thickness{0.5e-3};
+  double k_silicon_w_per_mk = 120.0;
+  /// Vertical conductance to ambient per tile (package + heatsink), W/K.
+  double vertical_g_w_per_k = 0.15;
+  /// Heat capacity per tile, J/K.
+  double tile_heat_capacity_j_per_k = 8e-4;
+  Celsius ambient{45.0};
+};
+
+class ThermalGrid {
+ public:
+  explicit ThermalGrid(ThermalGridParams params);
+
+  [[nodiscard]] std::size_t tile_count() const {
+    return params_.rows * params_.cols;
+  }
+  [[nodiscard]] std::size_t index(std::size_t row, std::size_t col) const;
+
+  void set_power(std::size_t tile, Watts p);
+  void set_power_map(std::span<const double> watts);
+
+  /// Steady-state temperatures for the current power map.
+  void solve_steady();
+
+  /// Transient step (backward Euler) with the current power map.
+  void step(Seconds dt);
+
+  [[nodiscard]] Celsius temperature(std::size_t tile) const;
+  [[nodiscard]] Celsius max_temperature() const;
+  [[nodiscard]] Celsius mean_temperature() const;
+  [[nodiscard]] const ThermalGridParams& params() const { return params_; }
+
+ private:
+  void build_conductance();
+
+  ThermalGridParams params_;
+  math::Matrix g_;                       // conductance Laplacian + vertical
+  std::unique_ptr<math::LuFactorization> steady_lu_;
+  std::unique_ptr<math::LuFactorization> transient_lu_;
+  double transient_dt_ = -1.0;
+  std::vector<double> power_;
+  std::vector<double> temp_rise_;  // above ambient
+};
+
+}  // namespace dh::thermal

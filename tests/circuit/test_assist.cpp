@@ -1,0 +1,145 @@
+// Assist-circuitry tests against the paper's Fig. 8-10 behaviour.
+#include "circuit/assist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::circuit {
+namespace {
+
+AssistCircuit make_assist(int load_units = 1) {
+  AssistCircuitParams p;
+  p.load_units = load_units;
+  return AssistCircuit{p};
+}
+
+TEST(Assist, NormalModePowersTheLoad) {
+  const AssistOperating op = make_assist().solve(AssistMode::kNormal);
+  EXPECT_GT(op.effective_supply(), 0.8);
+  EXPECT_GT(op.grid_current, 1e-4);
+}
+
+TEST(Assist, EmModeReversesGridCurrentSameMagnitude) {
+  // Fig. 9a: "The current direction is reversed under EM Active Recovery
+  // Mode, and the current value is still the same".
+  const AssistCircuit ac = make_assist();
+  const AssistOperating normal = ac.solve(AssistMode::kNormal);
+  const AssistOperating em = ac.solve(AssistMode::kEmActiveRecovery);
+  EXPECT_LT(em.grid_current, 0.0);
+  EXPECT_NEAR(std::abs(em.grid_current), std::abs(normal.grid_current),
+              0.02 * std::abs(normal.grid_current));
+}
+
+TEST(Assist, EmModeKeepsLoadOperational) {
+  const AssistCircuit ac = make_assist();
+  const AssistOperating normal = ac.solve(AssistMode::kNormal);
+  const AssistOperating em = ac.solve(AssistMode::kEmActiveRecovery);
+  EXPECT_NEAR(em.effective_supply(), normal.effective_supply(), 0.02);
+}
+
+TEST(Assist, BtiModeSwapsLoadRails) {
+  // Fig. 9b: load VDD and VSS node values are switched, with a 0.2-0.3 V
+  // droop/increase from the pass devices.
+  const AssistOperating op =
+      make_assist().solve(AssistMode::kBtiActiveRecovery);
+  EXPECT_GT(op.load_vss, op.load_vdd);  // rails swapped
+  const double dv_low = op.load_vdd;          // VSS + dV
+  const double dv_high = 1.0 - op.load_vss;   // VDD - dV
+  EXPECT_GT(dv_low, 0.1);
+  EXPECT_LT(dv_low, 0.35);
+  EXPECT_GT(dv_high, 0.1);
+  EXPECT_LT(dv_high, 0.35);
+}
+
+TEST(Assist, BtiRecoveryBiasExceedsExperimentNeed) {
+  // "-0.816V is much higher than -0.3V used in our experiment".
+  const Volts bias = make_assist().bti_recovery_bias();
+  EXPECT_LT(bias.value(), -0.3);
+  EXPECT_GT(bias.value(), -1.0);
+}
+
+TEST(Assist, BtiModeDrawsAlmostNoGridCurrent) {
+  const AssistOperating op =
+      make_assist().solve(AssistMode::kBtiActiveRecovery);
+  EXPECT_LT(std::abs(op.grid_current), 1e-6);
+}
+
+TEST(Assist, DelayGrowsWithLoadSize) {
+  // Fig. 10: "by increasing load size, the performance degrades".
+  double prev = 0.0;
+  for (int n = 1; n <= 5; ++n) {
+    AssistCircuitParams p;
+    p.load_units = n;
+    const double d =
+        AssistCircuit{p}.normalized_load_delay(AssistMode::kNormal);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Assist, DelayRatioMatchesPaperScale) {
+  AssistCircuitParams p1;
+  p1.load_units = 1;
+  AssistCircuitParams p5;
+  p5.load_units = 5;
+  const double d1 = AssistCircuit{p1}.normalized_load_delay(AssistMode::kNormal);
+  const double d5 = AssistCircuit{p5}.normalized_load_delay(AssistMode::kNormal);
+  // Paper Fig. 10 tops out around 1.8x at 5 loads.
+  EXPECT_GT(d5 / d1, 1.4);
+  EXPECT_LT(d5 / d1, 2.3);
+}
+
+TEST(Assist, SwitchingTimeDecreasesWithLoadSize) {
+  // Fig. 10: "Switching time also reduces with the increased load, but
+  // with a slower rate."
+  AssistCircuitParams p1;
+  p1.load_units = 1;
+  AssistCircuitParams p4;
+  p4.load_units = 4;
+  const double t1 = AssistCircuit{p1}
+                        .switching_time(AssistMode::kNormal,
+                                        AssistMode::kBtiActiveRecovery)
+                        .value();
+  const double t4 = AssistCircuit{p4}
+                        .switching_time(AssistMode::kNormal,
+                                        AssistMode::kBtiActiveRecovery)
+                        .value();
+  EXPECT_LT(t4, t1);
+  // Sublinear: 4x the load does not give 4x the speedup.
+  EXPECT_GT(t4, t1 / 4.0);
+}
+
+TEST(Assist, TransitionWaveformShowsCurrentReversal) {
+  const AssistCircuit ac = make_assist();
+  const TransientResult tr =
+      ac.transition(AssistMode::kNormal, AssistMode::kEmActiveRecovery,
+                    Seconds{2e-9}, Seconds{60e-9}, Seconds{1e-10});
+  const auto& i = tr.trace("grid_current");
+  EXPECT_GT(i.front_value(), 0.0);
+  EXPECT_LT(i.back_value(), 0.0);
+  EXPECT_NEAR(std::abs(i.back_value()), std::abs(i.front_value()),
+              0.05 * std::abs(i.front_value()));
+}
+
+TEST(Assist, RejectsInvalidConfig) {
+  AssistCircuitParams p;
+  p.load_units = 0;
+  EXPECT_THROW(AssistCircuit{p}, Error);
+  p = AssistCircuitParams{};
+  p.vdd = Volts{0.2};  // below threshold
+  EXPECT_THROW(AssistCircuit{p}, Error);
+}
+
+TEST(Assist, ModeNames) {
+  EXPECT_STREQ(to_string(AssistMode::kNormal), "Normal");
+  EXPECT_STREQ(to_string(AssistMode::kEmActiveRecovery),
+               "EM Active Recovery");
+  EXPECT_STREQ(to_string(AssistMode::kBtiActiveRecovery),
+               "BTI Active Recovery");
+}
+
+}  // namespace
+}  // namespace dh::circuit

@@ -1,0 +1,54 @@
+#include "circuit/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dh::circuit {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::dc(1.5);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(w.value(1e9), 1.5);
+}
+
+TEST(Waveform, PulseShape) {
+  // 0 -> 1, delay 1, rise 1, width 2, fall 1, period 10.
+  const Waveform w = Waveform::pulse(0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 0.0);   // before delay
+  EXPECT_DOUBLE_EQ(w.value(1.5), 0.5);   // mid-rise
+  EXPECT_DOUBLE_EQ(w.value(3.0), 1.0);   // on
+  EXPECT_DOUBLE_EQ(w.value(4.5), 0.5);   // mid-fall
+  EXPECT_DOUBLE_EQ(w.value(9.0), 0.0);   // off
+  EXPECT_DOUBLE_EQ(w.value(11.5), 0.5);  // periodic repeat
+}
+
+TEST(Waveform, PulseValidation) {
+  EXPECT_THROW(Waveform::pulse(0, 1, 0, 0.0, 1, 1, 10), dh::Error);
+  EXPECT_THROW(Waveform::pulse(0, 1, 0, 1, 1, 10, 2), dh::Error);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const Waveform w = Waveform::pwl({0.0, 1.0, 2.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(5.0), 0.0);
+}
+
+TEST(Waveform, PwlValidation) {
+  EXPECT_THROW(Waveform::pwl({1.0, 0.0}, {0.0, 1.0}), dh::Error);
+  EXPECT_THROW(Waveform::pwl({0.0}, {0.0}), dh::Error);
+}
+
+TEST(Waveform, StepTransitions) {
+  const Waveform w = Waveform::step(0.2, 0.8, 5.0, 0.1);
+  EXPECT_DOUBLE_EQ(w.value(4.9), 0.2);
+  EXPECT_DOUBLE_EQ(w.value(5.05), 0.5);
+  EXPECT_DOUBLE_EQ(w.value(5.2), 0.8);
+  EXPECT_DOUBLE_EQ(w.value(100.0), 0.8);
+}
+
+}  // namespace
+}  // namespace dh::circuit

@@ -1,0 +1,35 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dh {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(DH_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Error, RequireThrowsOnFalse) {
+  EXPECT_THROW(DH_REQUIRE(false, "always fails"), Error);
+}
+
+TEST(Error, MessageContainsExpressionAndContext) {
+  try {
+    DH_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected dh::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, ConvergenceErrorIsAnError) {
+  EXPECT_THROW(throw ConvergenceError("did not converge"), Error);
+}
+
+}  // namespace
+}  // namespace dh

@@ -1,0 +1,61 @@
+#include "common/math/ode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::math {
+namespace {
+
+TEST(Rk4, ExponentialDecay) {
+  // dy/dt = -y, y(0)=1 -> y(1)=e^-1.
+  const double y1 = rk4_scalar([](double, double y) { return -y; }, 0.0, 1.0,
+                               100, 1.0);
+  EXPECT_NEAR(y1, std::exp(-1.0), 1e-8);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  auto err = [](int steps) {
+    const double y = rk4_scalar([](double, double yy) { return -yy; }, 0.0,
+                                1.0, steps, 1.0);
+    return std::abs(y - std::exp(-1.0));
+  };
+  const double e10 = err(10);
+  const double e20 = err(20);
+  // Halving the step should cut the error by ~2^4.
+  EXPECT_GT(e10 / e20, 12.0);
+  EXPECT_LT(e10 / e20, 20.0);
+}
+
+TEST(Rk4, HarmonicOscillatorConservesEnergy) {
+  // y'' = -y as a system; energy should be conserved to high order.
+  std::vector<double> y{1.0, 0.0};  // position, velocity
+  const OdeRhs rhs = [](double, std::span<const double> s,
+                        std::span<double> d) {
+    d[0] = s[1];
+    d[1] = -s[0];
+  };
+  rk4_integrate(rhs, 0.0, 2.0 * 3.14159265358979, 1000, y);
+  EXPECT_NEAR(y[0], 1.0, 1e-6);
+  EXPECT_NEAR(y[1], 0.0, 1e-6);
+}
+
+TEST(Rk4, TimeDependentRhs) {
+  // dy/dt = t -> y(2) = y(0) + 2.
+  const double y = rk4_scalar([](double t, double) { return t; }, 0.0, 2.0,
+                              50, 0.0);
+  EXPECT_NEAR(y, 2.0, 1e-10);
+}
+
+TEST(Rk4, RejectsNonPositiveSteps) {
+  std::vector<double> y{1.0};
+  const OdeRhs rhs = [](double, std::span<const double>, std::span<double> d) {
+    d[0] = 0.0;
+  };
+  EXPECT_THROW(rk4_integrate(rhs, 0.0, 1.0, 0, y), Error);
+}
+
+}  // namespace
+}  // namespace dh::math

@@ -1,0 +1,41 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dh {
+namespace {
+
+TEST(Table, FormatsAlignedGrid) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("| beta"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMustMatch) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-1.0, 0), "-1");
+  EXPECT_EQ(Table::pct(0.724, 1), "72.4%");
+  EXPECT_EQ(Table::pct(0.0066, 2), "0.66%");
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, Error);
+}
+
+}  // namespace
+}  // namespace dh

@@ -1,0 +1,96 @@
+// Fig. 4 reproduction tests: scheduled periodic recovery eliminates the
+// permanent BTI component when stress and recovery are balanced.
+#include <gtest/gtest.h>
+
+#include "core/accelerated_test.hpp"
+#include "device/bti_model.hpp"
+#include "device/calibration.hpp"
+
+namespace dh::device {
+namespace {
+
+TEST(Fig4, BalancedScheduleKeepsPermanentPracticallyZero) {
+  auto model = BtiModel::paper_calibrated();
+  const auto stress = paper_conditions::accelerated_stress();
+  const auto rec = paper_conditions::recovery_no4();
+  double total_shift = 0.0;
+  for (int c = 0; c < 8; ++c) {
+    model.apply(stress, hours(1.0));
+    total_shift = std::max(total_shift, model.delta_vth().value());
+    model.apply(rec, hours(1.0));
+  }
+  // Residual at a few percent of the plot scale reads as "practically
+  // zero" in the paper's Fig. 4 (which plots up to the 4:1 pattern's
+  // ~20 mV accumulation).
+  EXPECT_LT(model.delta_vth().value(), 0.15 * total_shift);
+  EXPECT_LT(model.delta_vth().value(), 0.004);
+}
+
+TEST(Fig4, UnbalancedScheduleAccumulates) {
+  auto model = BtiModel::paper_calibrated();
+  const auto stress = paper_conditions::accelerated_stress();
+  const auto rec = paper_conditions::recovery_no4();
+  std::vector<double> residuals;
+  for (int c = 0; c < 8; ++c) {
+    model.apply(stress, hours(4.0));
+    model.apply(rec, hours(1.0));
+    residuals.push_back(model.delta_vth().value());
+  }
+  // Monotone growth cycle over cycle.
+  for (std::size_t i = 1; i < residuals.size(); ++i) {
+    EXPECT_GT(residuals[i], residuals[i - 1]);
+  }
+  // And clearly non-zero by the end.
+  EXPECT_GT(residuals.back(), 0.010);
+}
+
+TEST(Fig4, PatternOrdering) {
+  const auto patterns = core::run_fig4(8);
+  ASSERT_EQ(patterns.size(), 4u);
+  // 4:1 > 2:1 > 1:1 > 1:2 in final permanent component.
+  EXPECT_GT(patterns[0].permanent_mv.back(), patterns[1].permanent_mv.back());
+  EXPECT_GT(patterns[1].permanent_mv.back(), patterns[2].permanent_mv.back());
+  EXPECT_GT(patterns[2].permanent_mv.back(), patterns[3].permanent_mv.back());
+}
+
+TEST(Fig4, BalancedResidualIsSmallFractionOfUnbalanced) {
+  const auto patterns = core::run_fig4(8);
+  const double balanced = patterns[2].permanent_mv.back();   // 1h:1h
+  const double unbalanced = patterns[0].permanent_mv.back(); // 4h:1h
+  EXPECT_LT(balanced, 0.2 * unbalanced);
+}
+
+TEST(Fig4, EveryPatternRecordsEveryCycle) {
+  const auto patterns = core::run_fig4(5);
+  for (const auto& p : patterns) {
+    EXPECT_EQ(p.permanent_mv.size(), 5u);
+    for (const double v : p.permanent_mv) {
+      EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+/// Property sweep: for a fixed 1h recovery, permanent residual grows with
+/// the stress interval.
+class Fig4StressSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fig4StressSweep, LongerStressLeavesMoreResidual) {
+  const double stress_h = GetParam();
+  auto shorter = BtiModel::paper_calibrated();
+  auto longer = BtiModel::paper_calibrated();
+  const auto stress = paper_conditions::accelerated_stress();
+  const auto rec = paper_conditions::recovery_no4();
+  for (int c = 0; c < 4; ++c) {
+    shorter.apply(stress, hours(stress_h));
+    shorter.apply(rec, hours(1.0));
+    longer.apply(stress, hours(stress_h * 2.0));
+    longer.apply(rec, hours(1.0));
+  }
+  EXPECT_GT(longer.delta_vth().value(), shorter.delta_vth().value());
+}
+
+INSTANTIATE_TEST_SUITE_P(StressHours, Fig4StressSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace dh::device

@@ -1,0 +1,114 @@
+// The compact BTI model must track the full trap-ensemble model closely
+// enough for system-level use (the ablation bench quantifies this in
+// detail; these tests pin the qualitative contract).
+#include "device/compact_bti.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "device/bti_model.hpp"
+#include "device/calibration.hpp"
+
+namespace dh::device {
+namespace {
+
+TEST(CompactBti, FreshIsZero) {
+  CompactBti m{};
+  EXPECT_DOUBLE_EQ(m.delta_vth().value(), 0.0);
+}
+
+TEST(CompactBti, StressThenRecoverShape) {
+  CompactBti m{};
+  m.apply(paper_conditions::accelerated_stress(), hours(24.0));
+  const double stressed = m.delta_vth().value();
+  EXPECT_GT(stressed, 0.02);
+  m.apply(paper_conditions::recovery_no4(), hours(6.0));
+  const double recovered = (stressed - m.delta_vth().value()) / stressed;
+  // Same ballpark as the full model's 72.7%.
+  EXPECT_GT(recovered, 0.5);
+  EXPECT_LT(recovered, 0.95);
+}
+
+TEST(CompactBti, RecoveryConditionOrdering) {
+  const auto conditions = {paper_conditions::recovery_no1(),
+                           paper_conditions::recovery_no2(),
+                           paper_conditions::recovery_no3(),
+                           paper_conditions::recovery_no4()};
+  double prev_residual = 1e9;
+  for (const auto& cond : conditions) {
+    CompactBti m{};
+    m.apply(paper_conditions::accelerated_stress(), hours(24.0));
+    m.apply(cond, hours(6.0));
+    EXPECT_LT(m.delta_vth().value(), prev_residual);
+    prev_residual = m.delta_vth().value();
+  }
+}
+
+TEST(CompactBti, BalancedCyclingStaysLow) {
+  CompactBti m{};
+  double peak = 0.0;
+  for (int c = 0; c < 8; ++c) {
+    m.apply(paper_conditions::accelerated_stress(), hours(1.0));
+    peak = std::max(peak, m.delta_vth().value());
+    m.apply(paper_conditions::recovery_no4(), hours(1.0));
+  }
+  EXPECT_LT(m.delta_vth().value(), 0.35 * peak);
+}
+
+TEST(CompactBti, BreakdownSumsToTotal) {
+  CompactBti m{};
+  m.apply(paper_conditions::accelerated_stress(), hours(12.0));
+  const auto b = m.breakdown();
+  EXPECT_NEAR(b.total().value(), m.delta_vth().value(), 1e-12);
+}
+
+TEST(CompactBti, ResetClears) {
+  CompactBti m{};
+  m.apply(paper_conditions::accelerated_stress(), hours(12.0));
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.delta_vth().value(), 0.0);
+}
+
+TEST(CompactBti, TracksFullModelUnderNominalAging) {
+  // One year at nominal conditions with daily recovery naps: compact and
+  // full models should land within a factor-of-two band.
+  CompactBti compact{};
+  auto full = BtiModel::paper_calibrated();
+  const BtiCondition run{Volts{0.9}, Celsius{60.0}};
+  const BtiCondition nap{Volts{-0.3}, Celsius{60.0}};
+  for (int d = 0; d < 60; ++d) {
+    compact.apply(run, hours(22.0));
+    compact.apply(nap, hours(2.0));
+    full.apply(run, hours(22.0));
+    full.apply(nap, hours(2.0));
+  }
+  const double c = compact.delta_vth().value();
+  const double f = full.delta_vth().value();
+  EXPECT_GT(c, 0.3 * f);
+  EXPECT_LT(c, 3.0 * f);
+}
+
+TEST(CompactBti, MuchFasterThanFullModel) {
+  // Smoke check of the design goal (no timing assertion, just step count):
+  // 10k steps must run without issue.
+  CompactBti m{};
+  for (int i = 0; i < 10000; ++i) {
+    m.apply(paper_conditions::accelerated_stress(), minutes(30.0));
+  }
+  EXPECT_GT(m.delta_vth().value(), 0.0);
+}
+
+TEST(CompactBti, RejectsInvalidParams) {
+  CompactBtiParams p;
+  p.fast_sat_v = -1.0;
+  EXPECT_THROW(CompactBti{p}, Error);
+}
+
+TEST(CompactBti, NegativeDtThrows) {
+  CompactBti m{};
+  EXPECT_THROW(m.apply(paper_conditions::recovery_no1(), Seconds{-5.0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace dh::device

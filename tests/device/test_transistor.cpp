@@ -1,0 +1,69 @@
+#include "device/transistor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/calibration.hpp"
+
+namespace dh::device {
+namespace {
+
+Transistor make_pmos() {
+  TransistorParams p;
+  p.polarity = Polarity::kPmos;
+  return Transistor{p, BtiModel::paper_calibrated()};
+}
+
+Transistor make_nmos() {
+  TransistorParams p;
+  p.polarity = Polarity::kNmos;
+  return Transistor{p, BtiModel::paper_calibrated()};
+}
+
+TEST(Transistor, PmosStressedByLowInput) {
+  // NBTI: a PMOS ages when its gate is driven low (input "0").
+  Transistor stressed = make_pmos();
+  Transistor relaxed = make_pmos();
+  for (int h = 0; h < 24; ++h) {
+    stressed.step(false, Volts{1.2}, Celsius{110.0}, hours(1.0));
+    relaxed.step(true, Volts{1.2}, Celsius{110.0}, hours(1.0));
+  }
+  EXPECT_GT(stressed.delta_vth().value(), 10.0 * relaxed.delta_vth().value());
+}
+
+TEST(Transistor, NmosStressedByHighInput) {
+  // PBTI: an NMOS ages when its gate is driven high (input "1").
+  Transistor stressed = make_nmos();
+  Transistor relaxed = make_nmos();
+  for (int h = 0; h < 24; ++h) {
+    stressed.step(true, Volts{1.2}, Celsius{110.0}, hours(1.0));
+    relaxed.step(false, Volts{1.2}, Celsius{110.0}, hours(1.0));
+  }
+  EXPECT_GT(stressed.delta_vth().value(), 10.0 * relaxed.delta_vth().value());
+}
+
+TEST(Transistor, EffectiveVthIncludesShift) {
+  Transistor t = make_pmos();
+  const double vth0 = t.params().vth0.value();
+  t.step(false, Volts{1.2}, Celsius{110.0}, hours(24.0));
+  EXPECT_NEAR(t.effective_vth().value(),
+              vth0 + t.delta_vth().value(), 1e-12);
+}
+
+TEST(Transistor, DirectConditionDrivesRecovery) {
+  Transistor t = make_pmos();
+  t.step(false, Volts{1.2}, Celsius{110.0}, hours(24.0));
+  const double aged = t.delta_vth().value();
+  // Fig. 8c: the assist circuitry applies the negative bias directly.
+  t.apply(paper_conditions::recovery_no4(), hours(6.0));
+  EXPECT_LT(t.delta_vth().value(), 0.5 * aged);
+}
+
+TEST(Transistor, MobilityFactorWithinBounds) {
+  Transistor t = make_pmos();
+  t.step(false, Volts{1.2}, Celsius{110.0}, hours(24.0));
+  EXPECT_LT(t.mobility_factor(), 1.0);
+  EXPECT_GT(t.mobility_factor(), 0.8);
+}
+
+}  // namespace
+}  // namespace dh::device

@@ -1,0 +1,97 @@
+// AC/bipolar-stress EM properties: the frequency effect ([21], [22] in
+// the paper's reference list) that underpins EM Active Recovery duty
+// cycling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/em_sensor.hpp"
+#include "em/korhonen.hpp"
+
+namespace dh::em {
+namespace {
+
+/// Run a 50% bipolar square wave for `total`; returns the peak |stress|
+/// seen at either end.
+double peak_stress_under_ac(Seconds half_period, Seconds total) {
+  KorhonenSolver s{paper_wire(), paper_calibrated_em_material()};
+  const auto t = paper_em_conditions::chamber();
+  bool forward = true;
+  double peak = 0.0;
+  while (s.elapsed().value() < total.value() && !s.ever_nucleated()) {
+    s.step(forward ? paper_em_conditions::stress_density()
+                   : paper_em_conditions::reverse_density(),
+           t, half_period);
+    forward = !forward;
+    peak = std::max(peak, std::abs(s.stress_at(WireEnd::kStart).value()));
+    peak = std::max(peak, std::abs(s.stress_at(WireEnd::kEnd).value()));
+  }
+  return peak;
+}
+
+TEST(AcEm, FasterAlternationLowersPeakStress) {
+  const double slow = peak_stress_under_ac(minutes(120.0), hours(12.0));
+  const double fast = peak_stress_under_ac(minutes(30.0), hours(12.0));
+  EXPECT_LT(fast, slow);
+}
+
+TEST(AcEm, RippleScalesAsSqrtPeriod) {
+  const double p120 = peak_stress_under_ac(minutes(120.0), hours(16.0));
+  const double p30 = peak_stress_under_ac(minutes(30.0), hours(16.0));
+  // sqrt(120/30) = 2.
+  EXPECT_NEAR(p120 / p30, 2.0, 0.35);
+}
+
+TEST(AcEm, BalancedAcIsImmortalWhereDcIsNot) {
+  // DC nucleates within ~6 h at the paper's conditions; a balanced 30 min
+  // square wave never approaches critical stress.
+  KorhonenSolver dc{paper_wire(), paper_calibrated_em_material()};
+  const auto t = paper_em_conditions::chamber();
+  dc.step(paper_em_conditions::stress_density(), t, hours(8.0));
+  EXPECT_TRUE(dc.ever_nucleated());
+
+  const double peak = peak_stress_under_ac(minutes(30.0), hours(12.0));
+  EXPECT_LT(peak, 0.5 * paper_calibrated_em_material()
+                            .critical_stress.value());
+}
+
+TEST(AcEm, AsymmetricDutyStillAges) {
+  // 2:1 forward:reverse leaves a net wind: nucleation happens, just
+  // later than DC (this is the Fig. 7 regime).
+  KorhonenSolver s{paper_wire(), paper_calibrated_em_material()};
+  const auto t = paper_em_conditions::chamber();
+  while (!s.ever_nucleated() && s.elapsed().value() < hours(48.0).value()) {
+    s.step(paper_em_conditions::stress_density(), t, minutes(60.0));
+    if (s.ever_nucleated()) break;
+    s.step(paper_em_conditions::reverse_density(), t, minutes(30.0));
+  }
+  EXPECT_TRUE(s.ever_nucleated());
+  EXPECT_GT(s.elapsed().value(), hours(8.0).value());
+}
+
+/// Property sweep: for any half-period, the stress stays symmetric
+/// between the two ends over full cycles (no net transport).
+class AcSymmetry : public ::testing::TestWithParam<double> {};
+
+TEST_P(AcSymmetry, FullCyclesLeaveNoNetEndBias) {
+  const double half_min = GetParam();
+  KorhonenSolver s{paper_wire(), paper_calibrated_em_material()};
+  const auto t = paper_em_conditions::chamber();
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    s.step(paper_em_conditions::stress_density(), t, minutes(half_min));
+    s.step(paper_em_conditions::reverse_density(), t, minutes(half_min));
+  }
+  ASSERT_FALSE(s.ever_nucleated());
+  // After whole cycles the residual profile is the tail of the last
+  // (reverse) half-cycle: anti-symmetric, bounded by the single-cycle
+  // ripple.
+  const double a = s.stress_at(WireEnd::kStart).value();
+  const double b = s.stress_at(WireEnd::kEnd).value();
+  EXPECT_NEAR(a, -b, 0.05 * std::max(std::abs(a), std::abs(b)) + 1e3);
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfPeriods, AcSymmetry,
+                         ::testing::Values(15.0, 30.0, 60.0));
+
+}  // namespace
+}  // namespace dh::em

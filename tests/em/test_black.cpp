@@ -1,0 +1,94 @@
+#include "em/black.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dh::em {
+namespace {
+
+BlackModel make_black() {
+  return BlackModel{BlackParams::from_reference(
+      years(10.0), mega_amps_per_cm2(2.0), Celsius{105.0})};
+}
+
+TEST(Black, MedianAtReference) {
+  const BlackModel m = make_black();
+  EXPECT_NEAR(
+      m.median_ttf(mega_amps_per_cm2(2.0), Celsius{105.0}).value(),
+      years(10.0).value(), 1.0);
+}
+
+TEST(Black, CurrentExponentTwo) {
+  const BlackModel m = make_black();
+  const double t1 =
+      m.median_ttf(mega_amps_per_cm2(2.0), Celsius{105.0}).value();
+  const double t2 =
+      m.median_ttf(mega_amps_per_cm2(4.0), Celsius{105.0}).value();
+  EXPECT_NEAR(t1 / t2, 4.0, 1e-9);
+}
+
+TEST(Black, HotterDiesSooner) {
+  const BlackModel m = make_black();
+  EXPECT_LT(m.median_ttf(mega_amps_per_cm2(2.0), Celsius{150.0}).value(),
+            m.median_ttf(mega_amps_per_cm2(2.0), Celsius{105.0}).value());
+}
+
+TEST(Black, SignOfCurrentIrrelevant) {
+  const BlackModel m = make_black();
+  EXPECT_DOUBLE_EQ(
+      m.median_ttf(mega_amps_per_cm2(3.0), Celsius{105.0}).value(),
+      m.median_ttf(mega_amps_per_cm2(-3.0), Celsius{105.0}).value());
+}
+
+TEST(Black, QuantilesOrdered) {
+  const BlackModel m = make_black();
+  const auto j = mega_amps_per_cm2(2.0);
+  const Celsius t{105.0};
+  EXPECT_LT(m.ttf_quantile(j, t, 0.01).value(),
+            m.ttf_quantile(j, t, 0.5).value());
+  EXPECT_LT(m.ttf_quantile(j, t, 0.5).value(),
+            m.ttf_quantile(j, t, 0.99).value());
+  EXPECT_NEAR(m.ttf_quantile(j, t, 0.5).value(),
+              m.median_ttf(j, t).value(), 1.0);
+}
+
+TEST(Black, SampledPopulationMatchesQuantiles) {
+  const BlackModel m = make_black();
+  Rng rng{77};
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(
+        m.sample_ttf(mega_amps_per_cm2(2.0), Celsius{105.0}, rng).value());
+  }
+  const double med = stats::median(samples);
+  EXPECT_NEAR(med, m.median_ttf(mega_amps_per_cm2(2.0), Celsius{105.0}).value(),
+              0.03 * med);
+  const auto fit = stats::fit_lognormal(samples);
+  EXPECT_NEAR(fit.sigma, m.params().sigma_lognormal, 0.02);
+}
+
+TEST(Black, AccelerationFactor) {
+  const BlackModel m = make_black();
+  const double af = m.acceleration_factor(
+      mega_amps_per_cm2(7.96), Celsius{230.0}, mega_amps_per_cm2(2.0),
+      Celsius{105.0});
+  // Accelerated testing gains many orders of magnitude.
+  EXPECT_GT(af, 100.0);
+}
+
+TEST(Black, ZeroCurrentRejected) {
+  const BlackModel m = make_black();
+  EXPECT_THROW((void)m.median_ttf(AmpsPerM2{0.0}, Celsius{105.0}), Error);
+}
+
+TEST(Black, InvalidParamsRejected) {
+  BlackParams p;  // ttf_ref defaults to 0
+  EXPECT_THROW(BlackModel{p}, Error);
+}
+
+}  // namespace
+}  // namespace dh::em

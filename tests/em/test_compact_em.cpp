@@ -1,0 +1,120 @@
+#include "em/compact_em.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "em/em_sensor.hpp"
+#include "em/korhonen.hpp"
+
+namespace dh::em {
+namespace {
+
+CompactEm make_compact() {
+  return CompactEm{CompactEmParams{.wire = paper_wire(),
+                                   .material =
+                                       paper_calibrated_em_material()}};
+}
+
+TEST(CompactEm, FreshState) {
+  const CompactEm m = make_compact();
+  EXPECT_DOUBLE_EQ(m.end_stress().value(), 0.0);
+  EXPECT_FALSE(m.void_open());
+  EXPECT_FALSE(m.broken());
+}
+
+TEST(CompactEm, NucleationNearPde) {
+  CompactEm m = make_compact();
+  const auto j = paper_em_conditions::stress_density();
+  const auto t = paper_em_conditions::chamber();
+  double t_nuc = -1.0;
+  for (int minute = 0; minute < 1200 && t_nuc < 0.0; minute += 5) {
+    m.step(j, t, minutes(5.0));
+    if (m.void_open()) t_nuc = minute + 5;
+  }
+  ASSERT_GT(t_nuc, 0.0);
+  const double analytic = in_minutes(CompactEm::analytic_nucleation_time(
+      paper_calibrated_em_material(), paper_wire(), j, t));
+  EXPECT_NEAR(t_nuc, analytic, 0.3 * analytic);
+}
+
+TEST(CompactEm, StressFollowsCurrentSign) {
+  CompactEm fwd = make_compact();
+  CompactEm rev = make_compact();
+  fwd.step(paper_em_conditions::stress_density(),
+           paper_em_conditions::chamber(), hours(2.0));
+  rev.step(paper_em_conditions::reverse_density(),
+           paper_em_conditions::chamber(), hours(2.0));
+  EXPECT_GT(fwd.end_stress().value(), 0.0);
+  EXPECT_NEAR(rev.end_stress().value(), -fwd.end_stress().value(),
+              1e-9 * fwd.end_stress().value());
+}
+
+TEST(CompactEm, VoidGrowsThenHeals) {
+  CompactEm m = make_compact();
+  const auto t = paper_em_conditions::chamber();
+  m.step(paper_em_conditions::stress_density(), t, minutes(500.0));
+  ASSERT_TRUE(m.void_open());
+  const double grown = m.void_length().value();
+  ASSERT_GT(grown, 0.0);
+  m.step(paper_em_conditions::reverse_density(), t, minutes(300.0));
+  EXPECT_LT(m.void_length().value(), grown);
+}
+
+TEST(CompactEm, ImmobilizedResidueSurvivesHealing) {
+  CompactEm m = make_compact();
+  const auto t = paper_em_conditions::chamber();
+  m.step(paper_em_conditions::stress_density(), t, minutes(550.0));
+  m.step(paper_em_conditions::reverse_density(), t, minutes(700.0));
+  EXPECT_FALSE(m.void_open());
+  EXPECT_GT(m.fixed_void_length().value(), 0.0);
+}
+
+TEST(CompactEm, ResistanceTracksVoid) {
+  CompactEm m = make_compact();
+  const auto t = paper_em_conditions::chamber();
+  const double r0 = m.resistance(t).value();
+  m.step(paper_em_conditions::stress_density(), t, minutes(700.0));
+  EXPECT_GT(m.resistance(t).value(), r0);
+}
+
+TEST(CompactEm, BreaksUnderSustainedStress) {
+  CompactEm m = make_compact();
+  const auto t = paper_em_conditions::chamber();
+  for (int h = 0; h < 80 && !m.broken(); ++h) {
+    m.step(paper_em_conditions::stress_density(), t, hours(1.0));
+  }
+  EXPECT_TRUE(m.broken());
+  EXPECT_GE(m.resistance(t).value(), 1e6);
+}
+
+TEST(CompactEm, ResetRestoresFresh) {
+  CompactEm m = make_compact();
+  m.step(paper_em_conditions::stress_density(),
+         paper_em_conditions::chamber(), hours(8.0));
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.end_stress().value(), 0.0);
+  EXPECT_FALSE(m.void_open());
+  EXPECT_DOUBLE_EQ(m.void_length().value(), 0.0);
+}
+
+TEST(CompactEm, SaturatesBelowCriticalAtLowCurrent) {
+  // Well below the reference density the pool bank saturates before the
+  // critical stress: approximate Blech immortality.
+  CompactEm m = make_compact();
+  const auto t = paper_em_conditions::chamber();
+  for (int d = 0; d < 60; ++d) {
+    m.step(mega_amps_per_cm2(1.5), t, days(1.0));
+  }
+  EXPECT_FALSE(m.void_open());
+}
+
+TEST(CompactEm, InvalidTauRejected) {
+  CompactEmParams p;
+  p.wire = paper_wire();
+  p.material = paper_calibrated_em_material();
+  p.j_ref = AmpsPerM2{0.0};  // makes the derived tau undefined
+  EXPECT_THROW(CompactEm{p}, Error);
+}
+
+}  // namespace
+}  // namespace dh::em

@@ -1,0 +1,51 @@
+#include "em/em_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dh::em {
+namespace {
+
+TEST(EmSensor, MeasurementNearTruth) {
+  EmSensor s{EmSensorParams{}, Rng{1}};
+  for (int i = 0; i < 100; ++i) {
+    const double r = s.measure(Ohms{65.26}).value();
+    EXPECT_NEAR(r, 65.26, 0.3);
+  }
+}
+
+TEST(EmSensor, QuantizedToResolution) {
+  EmSensorParams p;
+  p.resolution = Ohms{0.05};
+  p.relative_noise = 0.0;
+  EmSensor s{p, Rng{2}};
+  const double r = s.measure(Ohms{35.76}).value();
+  EXPECT_NEAR(std::fmod(r + 1e-12, 0.05), 0.0, 1e-9);
+}
+
+TEST(EmSensor, DeterministicForSeed) {
+  EmSensor a{EmSensorParams{}, Rng{42}};
+  EmSensor b{EmSensorParams{}, Rng{42}};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.measure(Ohms{50.0}).value(),
+                     b.measure(Ohms{50.0}).value());
+  }
+}
+
+TEST(EmSensor, RejectsNonPositiveResolution) {
+  EmSensorParams p;
+  p.resolution = Ohms{0.0};
+  EXPECT_THROW((EmSensor{p, Rng{1}}), Error);
+}
+
+TEST(EmSensor, PaperConditionsConstants) {
+  EXPECT_DOUBLE_EQ(paper_em_conditions::chamber().value(), 230.0);
+  EXPECT_DOUBLE_EQ(paper_em_conditions::stress_density().value(), 7.96e10);
+  EXPECT_DOUBLE_EQ(paper_em_conditions::reverse_density().value(), -7.96e10);
+}
+
+}  // namespace
+}  // namespace dh::em

@@ -1,0 +1,70 @@
+// The Table I protocol, measurement-vs-model, shared by tests and the
+// bench.
+#include "core/accelerated_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dh::core {
+namespace {
+
+TEST(Table1, ModelColumnMatchesPaper) {
+  const auto rows = run_table1();
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) {
+    EXPECT_NEAR(row.model_fraction, row.paper_model, 0.007) << row.label;
+  }
+}
+
+TEST(Table1, MeasurementColumnTracksModel) {
+  // Our virtual-chamber "measurement" reads the same experiment through a
+  // noisy ring-oscillator sensor; it must land near the model, like the
+  // paper's measured column does.
+  const auto rows = run_table1();
+  for (const auto& row : rows) {
+    EXPECT_NEAR(row.measured_fraction, row.model_fraction, 0.06)
+        << row.label;
+  }
+}
+
+TEST(Table1, MeasurementDeterministicPerSeed) {
+  const auto a = run_table1(123);
+  const auto b = run_table1(123);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].measured_fraction, b[i].measured_fraction);
+  }
+}
+
+TEST(Table1, ConditionsAreThePaperConditions) {
+  const auto rows = run_table1();
+  EXPECT_DOUBLE_EQ(rows[0].condition.temperature.value(), 20.0);
+  EXPECT_DOUBLE_EQ(rows[0].condition.gate_bias.value(), 0.0);
+  EXPECT_DOUBLE_EQ(rows[3].condition.temperature.value(), 110.0);
+  EXPECT_DOUBLE_EQ(rows[3].condition.gate_bias.value(), -0.3);
+}
+
+TEST(Fig4Protocol, ReturnsAllPatterns) {
+  const auto patterns = run_fig4(6);
+  ASSERT_EQ(patterns.size(), 4u);
+  for (const auto& p : patterns) {
+    EXPECT_EQ(p.permanent_mv.size(), 6u);
+    EXPECT_GT(p.stress_per_cycle.value(), 0.0);
+    EXPECT_GT(p.recovery_per_cycle.value(), 0.0);
+  }
+}
+
+TEST(Fig4Protocol, RejectsZeroCycles) {
+  EXPECT_THROW(run_fig4(0), dh::Error);
+}
+
+TEST(EmProtocols, Fig5SeriesIsWellFormed) {
+  const auto r = run_fig5(true, minutes(120.0));
+  EXPECT_GT(r.resistance.size(), 100u);
+  EXPECT_GT(r.fresh_resistance.value(), 60.0);  // at 230 C
+  EXPECT_LT(r.fresh_resistance.value(), 70.0);
+  EXPECT_GE(r.peak_resistance.value(), r.final_resistance.value());
+}
+
+}  // namespace
+}  // namespace dh::core

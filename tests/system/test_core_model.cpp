@@ -1,0 +1,113 @@
+#include "sched/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dh::sched {
+namespace {
+
+Core make_core() { return Core{CoreParams{}}; }
+
+TEST(CoreModel, FreshCoreAtFullSpeed) {
+  const Core c = make_core();
+  EXPECT_DOUBLE_EQ(c.degradation(), 0.0);
+  EXPECT_DOUBLE_EQ(c.fmax().value(),
+                   c.params().ro.fresh_frequency.value());
+}
+
+TEST(CoreModel, RunningAgesTheCore) {
+  Core c = make_core();
+  for (int d = 0; d < 90; ++d) {
+    c.step(CoreAction::kRun, 0.9, Celsius{85.0}, days(1.0));
+  }
+  EXPECT_GT(c.delta_vth().value(), 0.0);
+  EXPECT_GT(c.degradation(), 0.0);
+}
+
+TEST(CoreModel, IdleAgesSlowerThanRunning) {
+  Core busy = make_core();
+  Core idle = make_core();
+  for (int d = 0; d < 60; ++d) {
+    busy.step(CoreAction::kRun, 1.0, Celsius{85.0}, days(1.0));
+    idle.step(CoreAction::kIdle, 0.0, Celsius{85.0}, days(1.0));
+  }
+  EXPECT_GT(busy.delta_vth().value(), 5.0 * idle.delta_vth().value());
+}
+
+TEST(CoreModel, ActiveRecoveryHeals) {
+  Core c = make_core();
+  for (int d = 0; d < 60; ++d) {
+    c.step(CoreAction::kRun, 1.0, Celsius{85.0}, days(1.0));
+  }
+  const double aged = c.delta_vth().value();
+  for (int d = 0; d < 10; ++d) {
+    c.step(CoreAction::kBtiActiveRecovery, 0.0, Celsius{85.0}, days(1.0));
+  }
+  EXPECT_LT(c.delta_vth().value(), aged);
+}
+
+TEST(CoreModel, UtilizationScalesAging) {
+  Core heavy = make_core();
+  Core light = make_core();
+  for (int d = 0; d < 60; ++d) {
+    heavy.step(CoreAction::kRun, 1.0, Celsius{85.0}, days(1.0));
+    light.step(CoreAction::kRun, 0.2, Celsius{85.0}, days(1.0));
+  }
+  EXPECT_GT(heavy.delta_vth().value(), light.delta_vth().value());
+}
+
+TEST(CoreModel, HotterAgesFaster) {
+  Core hot = make_core();
+  Core cool = make_core();
+  for (int d = 0; d < 60; ++d) {
+    hot.step(CoreAction::kRun, 1.0, Celsius{105.0}, days(1.0));
+    cool.step(CoreAction::kRun, 1.0, Celsius{55.0}, days(1.0));
+  }
+  EXPECT_GT(hot.delta_vth().value(), cool.delta_vth().value());
+}
+
+TEST(CoreModel, PowerModelShape) {
+  const Core c = make_core();
+  const double p_full =
+      c.power(CoreAction::kRun, 1.0, Celsius{85.0}).value();
+  const double p_half =
+      c.power(CoreAction::kRun, 0.5, Celsius{85.0}).value();
+  const double p_idle =
+      c.power(CoreAction::kIdle, 0.0, Celsius{85.0}).value();
+  const double p_rec =
+      c.power(CoreAction::kBtiActiveRecovery, 0.0, Celsius{85.0}).value();
+  EXPECT_GT(p_full, p_half);
+  EXPECT_GT(p_half, p_idle);
+  EXPECT_LT(p_idle, 0.2 * p_full);
+  EXPECT_LT(p_rec, 0.2 * p_full);
+}
+
+TEST(CoreModel, LeakageGrowsWithTemperature) {
+  const Core c = make_core();
+  EXPECT_GT(c.power(CoreAction::kRun, 0.0, Celsius{105.0}).value(),
+            c.power(CoreAction::kRun, 0.0, Celsius{45.0}).value());
+}
+
+TEST(CoreModel, SupplyCurrentMatchesPower) {
+  const Core c = make_core();
+  const double p = c.power(CoreAction::kRun, 0.8, Celsius{85.0}).value();
+  const double i =
+      c.supply_current(CoreAction::kRun, 0.8, Celsius{85.0}).value();
+  EXPECT_NEAR(i, p / c.params().vdd.value(), 1e-12);
+}
+
+TEST(CoreModel, InvalidUtilizationRejected) {
+  Core c = make_core();
+  EXPECT_THROW(c.step(CoreAction::kRun, 1.5, Celsius{85.0}, hours(1.0)),
+               dh::Error);
+}
+
+TEST(CoreModel, ActionNames) {
+  EXPECT_STREQ(to_string(CoreAction::kRun), "run");
+  EXPECT_STREQ(to_string(CoreAction::kIdle), "idle");
+  EXPECT_STREQ(to_string(CoreAction::kBtiActiveRecovery), "bti-recovery");
+}
+
+}  // namespace
+}  // namespace dh::sched

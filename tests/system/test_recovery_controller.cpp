@@ -1,0 +1,93 @@
+#include "core/recovery_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dh::core {
+namespace {
+
+RecoveryControllerParams scheduled() {
+  RecoveryControllerParams p;
+  p.bti.period = hours(10.0);
+  p.bti.recovery_fraction = 0.2;
+  p.em.forward_interval = hours(2.0);
+  p.em.reverse_interval = hours(0.5);
+  return p;
+}
+
+TEST(RecoveryController, NormalDuringOperatingWindow) {
+  RecoveryController rc{scheduled()};
+  EXPECT_EQ(rc.decide(hours(0.5), false), circuit::AssistMode::kNormal);
+}
+
+TEST(RecoveryController, BtiWindowAtEndOfPeriod) {
+  RecoveryController rc{scheduled()};
+  EXPECT_EQ(rc.decide(hours(8.5), false),
+            circuit::AssistMode::kBtiActiveRecovery);
+  EXPECT_EQ(rc.decide(hours(9.9), false),
+            circuit::AssistMode::kBtiActiveRecovery);
+  // Next period: back to normal.
+  EXPECT_EQ(rc.decide(hours(10.1), false), circuit::AssistMode::kNormal);
+}
+
+TEST(RecoveryController, IdleTimeUsedOpportunistically) {
+  RecoveryController rc{scheduled()};
+  EXPECT_EQ(rc.decide(hours(1.0), true),
+            circuit::AssistMode::kBtiActiveRecovery);
+}
+
+TEST(RecoveryController, EmDutyWithinOperation) {
+  RecoveryController rc{scheduled()};
+  // EM cycle: 2h forward + 0.5h reverse.
+  EXPECT_EQ(rc.decide(hours(1.0), false), circuit::AssistMode::kNormal);
+  EXPECT_EQ(rc.decide(hours(2.2), false),
+            circuit::AssistMode::kEmActiveRecovery);
+  EXPECT_EQ(rc.decide(hours(2.6), false), circuit::AssistMode::kNormal);
+}
+
+TEST(RecoveryController, AccountingTracksModes) {
+  RecoveryController rc{scheduled()};
+  rc.commit(circuit::AssistMode::kNormal, hours(4.0));
+  rc.commit(circuit::AssistMode::kEmActiveRecovery, hours(1.0));
+  rc.commit(circuit::AssistMode::kBtiActiveRecovery, hours(1.0));
+  const auto& acc = rc.accounting();
+  EXPECT_DOUBLE_EQ(in_hours(acc.normal), 4.0);
+  EXPECT_DOUBLE_EQ(in_hours(acc.em_recovery), 1.0);
+  EXPECT_DOUBLE_EQ(in_hours(acc.bti_recovery), 1.0);
+  EXPECT_EQ(acc.mode_switches, 2u);
+}
+
+TEST(RecoveryController, UptimeCountsEmModeAsOperational) {
+  RecoveryController rc{scheduled()};
+  rc.commit(circuit::AssistMode::kNormal, hours(6.0));
+  rc.commit(circuit::AssistMode::kEmActiveRecovery, hours(2.0));
+  rc.commit(circuit::AssistMode::kBtiActiveRecovery, hours(2.0));
+  EXPECT_NEAR(rc.accounting().uptime_fraction(), 0.8, 1e-12);
+}
+
+TEST(RecoveryController, OverheadFractionFromSwitchCount) {
+  RecoveryController rc{scheduled()};
+  rc.commit(circuit::AssistMode::kNormal, hours(1.0));
+  rc.commit(circuit::AssistMode::kEmActiveRecovery, hours(1.0));
+  rc.commit(circuit::AssistMode::kNormal, hours(1.0));
+  // 2 switches at 1 hour cost each over 3 hours.
+  EXPECT_NEAR(rc.accounting().overhead_fraction(hours(1.0)), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(RecoveryController, NoScheduleMeansAlwaysNormal) {
+  RecoveryController rc{RecoveryControllerParams{}};
+  for (double h = 0.0; h < 100.0; h += 7.3) {
+    EXPECT_EQ(rc.decide(hours(h), false), circuit::AssistMode::kNormal);
+  }
+}
+
+TEST(RecoveryController, InvalidFractionRejected) {
+  RecoveryControllerParams p;
+  p.bti.recovery_fraction = 1.0;
+  EXPECT_THROW(RecoveryController{p}, dh::Error);
+}
+
+}  // namespace
+}  // namespace dh::core

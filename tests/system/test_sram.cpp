@@ -1,0 +1,133 @@
+#include "sram/sram_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math/interp.hpp"
+
+namespace dh::sram {
+namespace {
+
+SramCell make_cell() { return SramCell{SramCellParams{}}; }
+
+TEST(SramSnm, FreshCellInPhysicalRange) {
+  const SramCell cell = make_cell();
+  const double snm = cell.fresh_snm().value();
+  // A healthy 6T cell at 0.9 V: SNM of a few hundred mV, below VDD/2.
+  EXPECT_GT(snm, 0.15);
+  EXPECT_LT(snm, 0.45);
+}
+
+TEST(SramSnm, IdealStepInvertersGiveHalfVdd) {
+  // Analytic sanity check of the largest-square algorithm.
+  const auto vin = math::linspace(0.0, 1.0, 101);
+  std::vector<double> step;
+  for (const double v : vin) step.push_back(v < 0.5 ? 1.0 : 0.0);
+  EXPECT_NEAR(snm_from_vtcs(vin, step, step), 0.5, 0.02);
+}
+
+TEST(SramSnm, SymmetricShiftBarelyMoves) {
+  // Equal Vth shifts on both pull-ups shift both VTCs together: the
+  // butterfly stays symmetric and the SNM moves only mildly.
+  const SramCellParams p;
+  const auto vin = math::linspace(0.0, p.vdd.value(), 41);
+  const auto fresh = inverter_vtc(p, Volts{0.0}, Volts{0.0}, vin);
+  const auto aged = inverter_vtc(p, Volts{0.03}, Volts{0.0}, vin);
+  const double snm_fresh = snm_from_vtcs(vin, fresh, fresh);
+  const double snm_sym = snm_from_vtcs(vin, aged, aged);
+  const double snm_asym = snm_from_vtcs(vin, aged, fresh);
+  EXPECT_LT(std::abs(snm_sym - snm_fresh), 0.02);
+  // Asymmetric aging is the killer.
+  EXPECT_LT(snm_asym, snm_sym);
+}
+
+TEST(SramCellAging, StaticDataStressesOneSide) {
+  SramCell cell = make_cell();
+  for (int d = 0; d < 30; ++d) {
+    cell.step(CellMode::kHold, true, Celsius{95.0}, hours(24.0));
+  }
+  EXPECT_GT(cell.left_pmos_dvth().value(),
+            20.0 * (cell.right_pmos_dvth().value() + 1e-9));
+}
+
+TEST(SramCellAging, AgingReducesSnm) {
+  SramCell cell = make_cell();
+  const double fresh = cell.fresh_snm().value();
+  for (int d = 0; d < 60; ++d) {
+    cell.step(CellMode::kHold, true, Celsius{95.0}, hours(24.0));
+  }
+  EXPECT_LT(cell.hold_snm().value(), fresh - 0.005);
+}
+
+TEST(SramCellAging, RecoveryBoostRestoresSnm) {
+  SramCell cell = make_cell();
+  for (int d = 0; d < 60; ++d) {
+    cell.step(CellMode::kHold, true, Celsius{95.0}, hours(24.0));
+  }
+  const double aged = cell.hold_snm().value();
+  for (int d = 0; d < 10; ++d) {
+    cell.step(CellMode::kRecoveryBoost, true, Celsius{95.0}, hours(24.0));
+  }
+  EXPECT_GT(cell.hold_snm().value(), aged);
+}
+
+TEST(SramArrayAging, FlippingDataBalancesStress) {
+  SramArrayParams flip;
+  flip.cells = 16;
+  flip.pattern = DataPattern::kFlipping;
+  SramArrayParams fixed = flip;
+  fixed.pattern = DataPattern::kStatic;
+  SramArray balanced{flip};
+  SramArray skewed{fixed};
+  for (int d = 0; d < 40; ++d) {
+    balanced.step(Celsius{95.0}, hours(24.0));
+    skewed.step(Celsius{95.0}, hours(24.0));
+  }
+  // Static data concentrates all stress on one side of each cell.
+  EXPECT_LT(balanced.worst_cell_health().worst_snm.value() * -1.0,
+            0.0);  // well-defined
+  EXPECT_GT(balanced.worst_cell_health().worst_snm.value(),
+            skewed.worst_cell_health().worst_snm.value());
+}
+
+TEST(SramArrayAging, BoostScheduleBeatsFlipping) {
+  SramArrayParams p;
+  p.cells = 16;
+  p.pattern = DataPattern::kStatic;
+  SramArray boosted{p};
+  SramArray unprotected{p};
+  for (int d = 0; d < 40; ++d) {
+    boosted.step(Celsius{95.0}, hours(24.0), /*boost_fraction=*/0.15);
+    unprotected.step(Celsius{95.0}, hours(24.0), 0.0);
+  }
+  EXPECT_GT(boosted.worst_cell_health().worst_snm.value(),
+            unprotected.worst_cell_health().worst_snm.value());
+  EXPECT_LT(boosted.worst_cell_health().worst_pmos_dvth.value(),
+            unprotected.worst_cell_health().worst_pmos_dvth.value());
+}
+
+TEST(SramArrayAging, ScanAndProxyAgree) {
+  SramArrayParams p;
+  p.cells = 8;
+  SramArray arr{p};
+  for (int d = 0; d < 20; ++d) arr.step(Celsius{95.0}, hours(24.0));
+  const auto full = arr.scan_health();
+  const auto proxy = arr.worst_cell_health();
+  EXPECT_NEAR(full.worst_snm.value(), proxy.worst_snm.value(), 0.01);
+  EXPECT_GE(full.mean_snm.value(), full.worst_snm.value());
+}
+
+TEST(SramArray, Validation) {
+  SramArrayParams p;
+  p.cells = 0;
+  EXPECT_THROW(SramArray{p}, Error);
+  p = SramArrayParams{};
+  p.p_one = 1.5;
+  EXPECT_THROW(SramArray{p}, Error);
+  SramArray ok{SramArrayParams{}};
+  EXPECT_THROW(ok.step(Celsius{95.0}, hours(1.0), 1.5), Error);
+  EXPECT_THROW((void)ok.cell(9999), Error);
+}
+
+}  // namespace
+}  // namespace dh::sram

@@ -1,0 +1,115 @@
+#include "sched/system_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dh::sched {
+namespace {
+
+SystemParams small_system() {
+  SystemParams p;
+  p.rows = 2;
+  p.cols = 2;
+  p.quantum = hours(6.0);
+  p.workload.kind = WorkloadKind::kPeriodic;
+  p.workload.utilization = 0.9;
+  p.workload.duty = 0.7;
+  p.workload.period = hours(24.0);
+  return p;
+}
+
+TEST(SystemSim, RunsAndRecordsTraces) {
+  SystemSimulator sim{small_system(), make_no_recovery_policy()};
+  sim.run(days(30.0));
+  EXPECT_GE(in_hours(sim.now()), 30.0 * 24.0);
+  EXPECT_GT(sim.degradation_trace().size(), 100u);
+  EXPECT_GT(sim.temperature_trace().size(), 100u);
+  EXPECT_GT(sim.ir_drop_trace().size(), 100u);
+}
+
+TEST(SystemSim, DegradationAccumulatesWithoutRecovery) {
+  SystemSimulator sim{small_system(), make_no_recovery_policy()};
+  sim.run(days(90.0));
+  const auto s = sim.summary();
+  EXPECT_GT(s.guardband_fraction, 0.0);
+  EXPECT_GT(s.final_degradation, 0.0);
+}
+
+TEST(SystemSim, ActiveRecoveryShrinksGuardband) {
+  // The headline system-level claim (Fig. 12b): scheduled active recovery
+  // needs a smaller margin than worst-case no-recovery design.
+  SystemSimulator baseline{small_system(), make_no_recovery_policy()};
+  SystemSimulator healed{small_system(), make_periodic_active_policy()};
+  baseline.run(days(180.0));
+  healed.run(days(180.0));
+  EXPECT_LT(healed.summary().final_degradation,
+            baseline.summary().final_degradation);
+}
+
+TEST(SystemSim, AvailabilityWithinBounds) {
+  SystemSimulator sim{small_system(), make_periodic_active_policy()};
+  sim.run(days(30.0));
+  const auto s = sim.summary();
+  EXPECT_GE(s.availability, 0.0);
+  EXPECT_LE(s.availability, 1.0 + 1e-9);
+  EXPECT_GE(s.mean_throughput, 0.0);
+}
+
+TEST(SystemSim, NoRecoveryHasFullAvailability) {
+  SystemSimulator sim{small_system(), make_no_recovery_policy()};
+  sim.run(days(20.0));
+  // Every demanded cycle is served (at degraded speed, but served).
+  EXPECT_GT(sim.summary().availability, 0.95);
+}
+
+TEST(SystemSim, DeterministicForSameSeed) {
+  SystemSimulator a{small_system(), make_periodic_active_policy()};
+  SystemSimulator b{small_system(), make_periodic_active_policy()};
+  a.run(days(20.0));
+  b.run(days(20.0));
+  EXPECT_DOUBLE_EQ(a.summary().final_degradation,
+                   b.summary().final_degradation);
+  EXPECT_DOUBLE_EQ(a.summary().energy_joules, b.summary().energy_joules);
+}
+
+TEST(SystemSim, SeedChangesStochasticDetails) {
+  SystemParams p = small_system();
+  p.workload.kind = WorkloadKind::kBursty;
+  SystemParams p2 = p;
+  p2.seed = 777;
+  SystemSimulator a{p, make_passive_idle_policy()};
+  SystemSimulator b{p2, make_passive_idle_policy()};
+  a.run(days(20.0));
+  b.run(days(20.0));
+  EXPECT_NE(a.summary().energy_joules, b.summary().energy_joules);
+}
+
+TEST(SystemSim, TemperatureAboveAmbient) {
+  SystemSimulator sim{small_system(), make_no_recovery_policy()};
+  sim.run(days(10.0));
+  EXPECT_GT(sim.summary().mean_temperature_c,
+            small_system().thermal.ambient.value());
+}
+
+TEST(SystemSim, EnergyAccumulates) {
+  SystemSimulator sim{small_system(), make_no_recovery_policy()};
+  sim.run(days(10.0));
+  const double e10 = sim.summary().energy_joules;
+  sim.run(days(20.0));
+  EXPECT_GT(sim.summary().energy_joules, e10);
+}
+
+TEST(SystemSim, CoreAccessors) {
+  SystemSimulator sim{small_system(), make_no_recovery_policy()};
+  EXPECT_EQ(sim.core_count(), 4u);
+  EXPECT_NO_THROW((void)sim.core(3));
+  EXPECT_THROW((void)sim.core(4), dh::Error);
+}
+
+TEST(SystemSim, RequiresPolicy) {
+  EXPECT_THROW(SystemSimulator(small_system(), nullptr), dh::Error);
+}
+
+}  // namespace
+}  // namespace dh::sched

@@ -1,0 +1,97 @@
+// Development-time check of the EM solver against the shapes of the
+// paper's Figs. 5-7.
+#include <cstdio>
+
+#include "em/compact_em.hpp"
+#include "em/korhonen.hpp"
+#include "em/em_sensor.hpp"
+
+int main() {
+  using namespace dh;
+  using namespace dh::em;
+  const auto wire = paper_wire();
+  const auto mat = paper_calibrated_em_material();
+  const auto temp = paper_em_conditions::chamber();
+  const auto j_fwd = paper_em_conditions::stress_density();
+  const auto j_rev = paper_em_conditions::reverse_density();
+
+  std::printf("fresh R @20C = %.2f ohm, @230C = %.2f ohm\n",
+              wire.resistance_at(to_kelvin(Celsius{20})).value(),
+              wire.resistance_at(to_kelvin(temp)).value());
+  std::printf("analytic t_nuc @230C = %.0f min\n",
+              in_minutes(CompactEm::analytic_nucleation_time(mat, wire, j_fwd,
+                                                             temp)));
+
+  // Fig. 5: stress until deep void growth, then active recovery.
+  {
+    KorhonenSolver s{wire, mat};
+    double t_nuc_min = -1.0;
+    for (int m = 0; m < 600; m += 5) {
+      s.step(j_fwd, temp, minutes(5));
+      if (t_nuc_min < 0 && s.ever_nucleated()) t_nuc_min = m + 5;
+    }
+    const double r_peak = s.resistance(temp).value();
+    const double r0 = wire.resistance_at(to_kelvin(temp)).value();
+    std::printf("Fig5: t_nuc=%.0f min, R after 600min stress = %.2f (dR=%.2f)\n",
+                t_nuc_min, r_peak, r_peak - r0);
+    // 120 min active recovery (1/5 of stress time).
+    s.step(j_rev, temp, minutes(120));
+    const double r_rec = s.resistance(temp).value();
+    std::printf("Fig5: after 120min active rec: R=%.2f, recovered %.0f%%"
+                " (fixed void=%.1f nm)\n",
+                r_rec, (r_peak - r_rec) / (r_peak - r0) * 100.0,
+                s.void_at(WireEnd::kStart).fixed_len_m * 1e9);
+    s.step(j_rev, temp, minutes(240));
+    std::printf("Fig5: extended rec: R=%.2f (permanent dR=%.2f)\n",
+                s.resistance(temp).value(),
+                s.resistance(temp).value() - r0);
+  }
+
+  // Fig. 6: recovery early in void growth -> full recovery, then reverse EM.
+  {
+    KorhonenSolver s{wire, mat};
+    while (!s.ever_nucleated() && in_minutes(s.elapsed()) < 600) {
+      s.step(j_fwd, temp, minutes(2));
+    }
+    s.step(j_fwd, temp, minutes(30));  // short growth
+    const double r0 = wire.resistance_at(to_kelvin(temp)).value();
+    const double r_peak = s.resistance(temp).value();
+    s.step(j_rev, temp, minutes(240));
+    const double r_rec = s.resistance(temp).value();
+    std::printf("Fig6: dR at rec start=%.2f, after 240min rec dR=%.3f\n",
+                r_peak - r0, r_rec - r0);
+    // Keep reversing: reverse-current-induced EM at the other end.
+    s.step(j_rev, temp, minutes(600));
+    std::printf("Fig6: after 600min more reverse: dR=%.2f, anode void=%d, "
+                "cathode residue=%.1fnm anode=%.1fnm\n",
+                s.resistance(temp).value() - r0,
+                s.nucleated(WireEnd::kEnd) ? 1 : 0,
+                s.void_at(WireEnd::kStart).total_m() * 1e9,
+                s.void_at(WireEnd::kEnd).total_m() * 1e9);
+  }
+
+  // Fig. 7: periodic recovery during nucleation delays nucleation ~3x.
+  {
+    KorhonenSolver s{wire, mat};
+    double t_nuc = -1;
+    while (in_minutes(s.elapsed()) < 3000) {
+      s.step(j_fwd, temp, minutes(60));
+      if (s.ever_nucleated()) { t_nuc = in_minutes(s.elapsed()); break; }
+      s.step(j_rev, temp, minutes(20));
+      if (s.ever_nucleated()) { t_nuc = in_minutes(s.elapsed()); break; }
+    }
+    std::printf("Fig7: periodic (60f/20r) nucleation at %.0f min\n", t_nuc);
+  }
+
+  // Compact model vs PDE nucleation.
+  {
+    CompactEm c{CompactEmParams{.wire = wire, .material = mat}};
+    double t_nuc = -1;
+    for (int m = 0; m < 1200 && t_nuc < 0; m += 5) {
+      c.step(j_fwd, temp, minutes(5));
+      if (c.void_open()) t_nuc = m + 5;
+    }
+    std::printf("compact: nucleation at %.0f min\n", t_nuc);
+  }
+  return 0;
+}
