@@ -3,10 +3,17 @@
 // budgets are set by the *early* percentiles of the lognormal TTF
 // population (one broken rail kills the chip), so the recovery benefit at
 // t0.1% matters more than the median shift.
+//
+// The population runs over the thread pool (DH_THREADS or all cores);
+// each wire derives its random stream from the wire index, so the
+// statistics are bit-identical at any thread count.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <utility>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -23,7 +30,8 @@ int main() {
   const WireGeometry wire = paper_wire();
   const EmMaterialParams nominal = paper_calibrated_em_material();
   const Celsius t = paper_em_conditions::chamber();
-  Rng rng{2026};
+  constexpr std::uint64_t kSeed = 2026;
+  constexpr std::size_t kWires = 400;
 
   const auto sample_ttf = [&](bool recovery, Rng& r) {
     // Process spread: diffusivity and critical stress vary wire to wire.
@@ -47,13 +55,21 @@ int main() {
     return em.broken() ? elapsed : horizon;
   };
 
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto pairs = parallel_map(kWires, [&](std::size_t i) {
+    // Per-wire stream from the index: order- and thread-independent.
+    Rng r1 = Rng::stream(kSeed, i);
+    Rng r2 = r1;  // identical process draw for the pair
+    return std::pair{sample_ttf(false, r1), sample_ttf(true, r2)};
+  });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
   std::vector<double> base, healed;
   int base_survived = 0, healed_survived = 0;
-  for (int i = 0; i < 400; ++i) {
-    Rng r1 = rng.fork();
-    Rng r2 = r1;  // identical process draw for the pair
-    const double tb = sample_ttf(false, r1);
-    const double th = sample_ttf(true, r2);
+  for (const auto& [tb, th] : pairs) {
     base.push_back(tb);
     healed.push_back(th);
     if (tb >= hours(400.0).value()) ++base_survived;
@@ -89,5 +105,7 @@ int main() {
       "\nScheduled recovery moves the *whole distribution* out — including\n"
       "the early percentiles that set design budgets — rather than only\n"
       "the median, because it attacks stress buildup before nucleation.\n");
+  std::printf("\n[pool] %zu thread(s), population wall time %.0f ms\n",
+              global_thread_count(), wall_ms);
   return 0;
 }

@@ -1,8 +1,21 @@
 // Google-benchmark microbenchmarks of the numerical kernels, so solver
 // performance regressions are caught alongside the physics.
+//
+// Before the google-benchmark suite runs, a wall-clock section times the
+// parallel-execution layer (serial vs pool) and the cached PDN solver
+// (cached vs fresh dense solve) and writes the numbers to
+// BENCH_parallel.json in the working directory, so future PRs can track
+// the throughput trajectory machine-readably.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+
 #include "circuit/assist.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "device/bti_model.hpp"
 #include "device/calibration.hpp"
 #include "device/compact_bti.hpp"
@@ -11,6 +24,7 @@
 #include "em/korhonen.hpp"
 #include "pdn/pdn_grid.hpp"
 #include "sched/system_sim.hpp"
+#include "sram/sram_array.hpp"
 #include "thermal/thermal_grid.hpp"
 
 namespace {
@@ -85,10 +99,37 @@ void BM_PdnIrSolve(benchmark::State& state) {
   const std::vector<double> loads(grid.node_count(), 0.002);
   const auto r = grid.fresh_segment_resistances(Celsius{85.0});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(grid.solve(loads, r));
+    benchmark::DoNotOptimize(grid.solve_uncached(loads, r));
   }
 }
 BENCHMARK(BM_PdnIrSolve)->Arg(4)->Arg(8)->Arg(12);
+
+// The cached solver on a slowly drifting grid (EM-like aging): most
+// iterations are back-substitutions plus a few refinement sweeps.
+void BM_PdnIrSolveCached(benchmark::State& state) {
+  pdn::PdnParams p;
+  p.rows = static_cast<std::size_t>(state.range(0));
+  p.cols = p.rows;
+  const pdn::PdnGrid grid{p};
+  const std::vector<double> loads(grid.node_count(), 0.002);
+  auto r = grid.fresh_segment_resistances(Celsius{85.0});
+  for (auto _ : state) {
+    for (double& x : r) x *= 1.0 + 1e-5;  // slow EM drift
+    benchmark::DoNotOptimize(grid.solve(loads, r));
+  }
+}
+BENCHMARK(BM_PdnIrSolveCached)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  std::vector<double> out(1024, 0.0);
+  for (auto _ : state) {
+    parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead);
 
 void BM_AssistDcSolve(benchmark::State& state) {
   circuit::AssistCircuit assist{circuit::AssistCircuitParams{}};
@@ -110,6 +151,134 @@ void BM_SystemSimStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SystemSimStep)->Arg(2)->Arg(4)->Arg(8);
 
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// EM wire-population kernel shared by the serial/parallel timing below —
+// a scaled-down bench/em_population_ttf inner loop.
+double em_population_member(std::size_t i) {
+  using namespace dh::em;
+  Rng r = Rng::stream(2026, i);
+  EmMaterialParams m = paper_calibrated_em_material();
+  m.d0_m2_per_s *= r.lognormal(0.0, 0.25);
+  m.critical_stress =
+      Pascals{m.critical_stress.value() * r.lognormal(0.0, 0.10)};
+  CompactEm em{CompactEmParams{.wire = paper_wire(), .material = m}};
+  const Celsius t = paper_em_conditions::chamber();
+  double elapsed = 0.0;
+  const double horizon = hours(120.0).value();
+  while (!em.broken() && elapsed < horizon) {
+    em.step(paper_em_conditions::stress_density(), t, minutes(60.0));
+    elapsed += minutes(60.0).value();
+  }
+  return em.broken() ? elapsed : horizon;
+}
+
+/// Times the parallel layer and the cached PDN solver, writes
+/// BENCH_parallel.json. Runs before the google-benchmark suite so the
+/// file is emitted even under a --benchmark_filter that excludes all.
+void write_parallel_json() {
+  const std::size_t threads = global_thread_count();
+
+  // 1. EM Monte-Carlo population: serial loop vs pool.
+  constexpr std::size_t kWires = 64;
+  std::vector<double> serial_ttf(kWires);
+  const double em_serial_ms = wall_ms([&] {
+    for (std::size_t i = 0; i < kWires; ++i) {
+      serial_ttf[i] = em_population_member(i);
+    }
+  });
+  std::vector<double> parallel_ttf;
+  const double em_parallel_ms = wall_ms([&] {
+    parallel_ttf = parallel_map(kWires, em_population_member);
+  });
+  const bool em_identical = serial_ttf == parallel_ttf;
+
+  // 2. SRAM array health scan: per-cell butterfly solves over the pool.
+  sram::SramArrayParams sp;
+  sp.cells = 96;
+  sram::SramArray array{sp};
+  array.step(Celsius{85.0}, hours(1000.0));
+  sram::SramArrayHealth serial_h, parallel_h;
+  // Route the serial scan through a single-thread global pool.
+  set_global_thread_count(1);
+  const double sram_serial_ms =
+      wall_ms([&] { serial_h = array.scan_health(); });
+  set_global_thread_count(threads);
+  const double sram_parallel_ms =
+      wall_ms([&] { parallel_h = array.scan_health(); });
+  const bool sram_identical =
+      serial_h.worst_snm.value() == parallel_h.worst_snm.value() &&
+      serial_h.mean_snm.value() == parallel_h.mean_snm.value();
+
+  // 3. PDN aging-style solve sequence: fresh dense solve every step vs
+  // the drift-tolerance LU cache.
+  pdn::PdnParams pp;
+  pp.rows = pp.cols = 16;
+  const pdn::PdnGrid grid{pp};
+  const std::vector<double> loads(grid.node_count(), 0.002);
+  constexpr int kSteps = 200;
+  const double uncached_ms = wall_ms([&] {
+    auto r = grid.fresh_segment_resistances(Celsius{85.0});
+    for (int s = 0; s < kSteps; ++s) {
+      for (double& x : r) x *= 1.0 + 2e-5;
+      benchmark::DoNotOptimize(grid.solve_uncached(loads, r));
+    }
+  });
+  const double cached_ms = wall_ms([&] {
+    auto r = grid.fresh_segment_resistances(Celsius{85.0});
+    for (int s = 0; s < kSteps; ++s) {
+      for (double& x : r) x *= 1.0 + 2e-5;
+      benchmark::DoNotOptimize(grid.solve(loads, r));
+    }
+  });
+  const auto& st = grid.solve_stats();
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n";
+  json << "  \"threads\": " << threads << ",\n";
+  json << "  \"em_population\": {\"wires\": " << kWires
+       << ", \"serial_ms\": " << em_serial_ms
+       << ", \"parallel_ms\": " << em_parallel_ms << ", \"speedup\": "
+       << (em_parallel_ms > 0.0 ? em_serial_ms / em_parallel_ms : 0.0)
+       << ", \"bit_identical\": " << (em_identical ? "true" : "false")
+       << "},\n";
+  json << "  \"sram_scan\": {\"cells\": " << sp.cells
+       << ", \"serial_ms\": " << sram_serial_ms
+       << ", \"parallel_ms\": " << sram_parallel_ms << ", \"speedup\": "
+       << (sram_parallel_ms > 0.0 ? sram_serial_ms / sram_parallel_ms
+                                  : 0.0)
+       << ", \"bit_identical\": " << (sram_identical ? "true" : "false")
+       << "},\n";
+  json << "  \"pdn_solve\": {\"nodes\": " << grid.node_count()
+       << ", \"steps\": " << kSteps << ", \"uncached_ms\": " << uncached_ms
+       << ", \"cached_ms\": " << cached_ms << ", \"speedup\": "
+       << (cached_ms > 0.0 ? uncached_ms / cached_ms : 0.0)
+       << ", \"factorizations\": " << st.factorizations
+       << ", \"refinement_iterations\": " << st.refinement_iterations
+       << "}\n";
+  json << "}\n";
+  std::printf(
+      "BENCH_parallel.json written: %zu thread(s); em %.0f/%.0f ms, "
+      "sram %.0f/%.0f ms, pdn %.0f/%.0f ms (%zu factorizations in %d "
+      "cached steps)\n",
+      threads, em_serial_ms, em_parallel_ms, sram_serial_ms,
+      sram_parallel_ms, uncached_ms, cached_ms, st.factorizations,
+      kSteps);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_parallel_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -40,7 +41,15 @@ LuFactorization::LuFactorization(const Matrix& a) : lu_(a), perm_(a.rows()) {
         pivot = r;
       }
     }
-    DH_REQUIRE(best > 1e-300, "matrix is singular to working precision");
+    if (!(best > 1e-300) || !std::isfinite(best)) {
+      // A vanishing pivot means the matrix is structurally singular (for
+      // conductance matrices: a floating node with no path to any pad).
+      // Report where elimination broke down instead of dividing by zero.
+      throw Error{"LU factorization: pivot magnitude " +
+                  std::to_string(best) + " at elimination column " +
+                  std::to_string(k) + " of " + std::to_string(n) +
+                  " — matrix is singular to working precision"};
+    }
     if (pivot != k) {
       for (std::size_t c = 0; c < n; ++c) {
         std::swap(lu_(k, c), lu_(pivot, c));

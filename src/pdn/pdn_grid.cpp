@@ -1,6 +1,7 @@
 #include "pdn/pdn_grid.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -9,6 +10,11 @@ namespace dh::pdn {
 PdnGrid::PdnGrid(PdnParams params) : params_(std::move(params)) {
   DH_REQUIRE(params_.rows >= 2 && params_.cols >= 2,
              "PDN grid needs at least 2x2 nodes");
+  DH_REQUIRE(params_.vdd.value() > 0.0, "PDN VDD must be positive");
+  DH_REQUIRE(params_.pad_resistance.value() > 0.0,
+             "pad resistance must be positive");
+  DH_REQUIRE(params_.refactor_tolerance >= 0.0,
+             "refactor tolerance must be non-negative");
   for (std::size_t r = 0; r < params_.rows; ++r) {
     for (std::size_t c = 0; c < params_.cols; ++c) {
       const std::size_t i = r * params_.cols + c;
@@ -26,6 +32,10 @@ PdnGrid::PdnGrid(PdnParams params) : params_(std::move(params)) {
       DH_REQUIRE(p < node_count(), "pad node out of range");
     }
   }
+  // Without at least one pad the conductance matrix has no path to VDD
+  // and is exactly singular — fail here with a clear message instead of
+  // letting the LU solver hit a zero pivot mid-simulation.
+  DH_REQUIRE(!pads_.empty(), "PDN needs at least one pad node");
 }
 
 std::size_t PdnGrid::node_index(std::size_t row, std::size_t col) const {
@@ -44,17 +54,11 @@ std::vector<double> PdnGrid::fresh_segment_resistances(Celsius t) const {
   return std::vector<double>(segments_.size(), r);
 }
 
-PdnSolution PdnGrid::solve(std::span<const double> load_amps,
-                           std::span<const double> segment_resistance) const {
+math::Matrix PdnGrid::assemble_conductance(
+    std::span<const double> segment_resistance) const {
   const std::size_t n = node_count();
-  DH_REQUIRE(load_amps.size() == n, "load vector size mismatch");
-  DH_REQUIRE(segment_resistance.size() == segments_.size(),
-             "segment resistance vector size mismatch");
   math::Matrix g(n, n, 0.0);
-  std::vector<double> rhs(n, 0.0);
   for (std::size_t s = 0; s < segments_.size(); ++s) {
-    DH_REQUIRE(segment_resistance[s] > 0.0,
-               "segment resistance must be positive");
     const double cond = 1.0 / segment_resistance[s];
     const auto [a, b] = segments_[s];
     g(a, a) += cond;
@@ -65,12 +69,41 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
   const double g_pad = 1.0 / params_.pad_resistance.value();
   for (const std::size_t p : pads_) {
     g(p, p) += g_pad;
+  }
+  return g;
+}
+
+std::vector<double> PdnGrid::assemble_rhs(
+    std::span<const double> load_amps) const {
+  const std::size_t n = node_count();
+  std::vector<double> rhs(n, 0.0);
+  const double g_pad = 1.0 / params_.pad_resistance.value();
+  for (const std::size_t p : pads_) {
     rhs[p] += g_pad * params_.vdd.value();
   }
   for (std::size_t i = 0; i < n; ++i) rhs[i] -= load_amps[i];
+  return rhs;
+}
 
+void PdnGrid::apply_conductance(std::span<const double> segment_resistance,
+                                std::span<const double> x,
+                                std::vector<double>& y) const {
+  y.assign(node_count(), 0.0);
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const auto [a, b] = segments_[s];
+    const double flow = (x[a] - x[b]) / segment_resistance[s];
+    y[a] += flow;
+    y[b] -= flow;
+  }
+  const double g_pad = 1.0 / params_.pad_resistance.value();
+  for (const std::size_t p : pads_) y[p] += g_pad * x[p];
+}
+
+PdnSolution PdnGrid::finish_solution(
+    std::vector<double> node_voltage,
+    std::span<const double> segment_resistance) const {
   PdnSolution sol;
-  sol.node_voltage = math::solve_dense(g, rhs);
+  sol.node_voltage = std::move(node_voltage);
   sol.segment_current.resize(segments_.size());
   for (std::size_t s = 0; s < segments_.size(); ++s) {
     const auto [a, b] = segments_[s];
@@ -78,7 +111,7 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
         (sol.node_voltage[a] - sol.node_voltage[b]) / segment_resistance[s];
   }
   sol.worst_drop_v = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < sol.node_voltage.size(); ++i) {
     const double drop = params_.vdd.value() - sol.node_voltage[i];
     if (drop > sol.worst_drop_v) {
       sol.worst_drop_v = drop;
@@ -86,6 +119,94 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
     }
   }
   return sol;
+}
+
+void PdnGrid::refactorize(
+    std::span<const double> segment_resistance) const {
+  lu_ = std::make_unique<math::LuFactorization>(
+      assemble_conductance(segment_resistance));
+  lu_segment_r_.assign(segment_resistance.begin(), segment_resistance.end());
+  ++solve_stats_.factorizations;
+}
+
+PdnSolution PdnGrid::solve(std::span<const double> load_amps,
+                           std::span<const double> segment_resistance) const {
+  const std::size_t n = node_count();
+  DH_REQUIRE(load_amps.size() == n, "load vector size mismatch");
+  DH_REQUIRE(segment_resistance.size() == segments_.size(),
+             "segment resistance vector size mismatch");
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    DH_REQUIRE(segment_resistance[s] > 0.0,
+               "segment resistance must be positive");
+  }
+  ++solve_stats_.solves;
+
+  bool exact = lu_ != nullptr;
+  bool refactor = lu_ == nullptr;
+  if (!refactor) {
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      const double drift =
+          std::abs(segment_resistance[s] - lu_segment_r_[s]);
+      if (drift > params_.refactor_tolerance * lu_segment_r_[s]) {
+        refactor = true;
+        break;
+      }
+      if (drift != 0.0) exact = false;
+    }
+  }
+  if (refactor) {
+    refactorize(segment_resistance);
+    exact = true;
+  }
+
+  std::vector<double> rhs = assemble_rhs(load_amps);
+  std::vector<double> v = lu_->solve(rhs);
+  if (!exact) {
+    // The factors describe slightly stale conductances; refine against
+    // the true operator. Each sweep contracts the error by ~the relative
+    // drift (<= tolerance), so the correction size ||dv|| directly bounds
+    // the remaining voltage error — iterate until it is at rounding
+    // level. A handful of back-substitutions recover full accuracy.
+    std::vector<double> gv;
+    std::vector<double> residual(n);
+    constexpr int kMaxRefine = 24;
+    bool converged = false;
+    for (int it = 0; it < kMaxRefine; ++it) {
+      apply_conductance(segment_resistance, v, gv);
+      for (std::size_t i = 0; i < n; ++i) residual[i] = rhs[i] - gv[i];
+      const std::vector<double> dv = lu_->solve(residual);
+      for (std::size_t i = 0; i < n; ++i) v[i] += dv[i];
+      ++solve_stats_.refinement_iterations;
+      if (math::norm_inf(dv) <=
+          1e-13 * std::max(1.0, math::norm_inf(v))) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      // Drift within tolerance but refinement stalled (e.g. resistance
+      // jump exactly at the threshold): fall back to a fresh factorization.
+      refactorize(segment_resistance);
+      v = lu_->solve(rhs);
+    }
+  }
+  return finish_solution(std::move(v), segment_resistance);
+}
+
+PdnSolution PdnGrid::solve_uncached(
+    std::span<const double> load_amps,
+    std::span<const double> segment_resistance) const {
+  const std::size_t n = node_count();
+  DH_REQUIRE(load_amps.size() == n, "load vector size mismatch");
+  DH_REQUIRE(segment_resistance.size() == segments_.size(),
+             "segment resistance vector size mismatch");
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    DH_REQUIRE(segment_resistance[s] > 0.0,
+               "segment resistance must be positive");
+  }
+  const math::Matrix g = assemble_conductance(segment_resistance);
+  return finish_solution(math::solve_dense(g, assemble_rhs(load_amps)),
+                         segment_resistance);
 }
 
 AmpsPerM2 PdnGrid::current_density(double current_a) const {

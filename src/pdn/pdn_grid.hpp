@@ -36,6 +36,21 @@ struct PdnParams {
   Ohms pad_resistance{0.05};
   /// Pad nodes; empty = the four corners.
   std::vector<std::size_t> pad_nodes;
+  /// Relative per-segment resistance drift that forces the cached LU
+  /// factorization to be rebuilt. Between refactorizations the stale LU
+  /// is used as a preconditioner and the solution is iteratively refined
+  /// against the *true* conductances, so accuracy does not depend on the
+  /// tolerance — only the refinement iteration count does. EM drift is
+  /// slow, so most solves are back-substitutions. Set to 0 to refactorize
+  /// every time resistances change at all.
+  double refactor_tolerance = 0.05;
+};
+
+/// Counters for the cached IR solver (see PdnGrid::solve).
+struct PdnSolveStats {
+  std::size_t solves = 0;
+  std::size_t factorizations = 0;
+  std::size_t refinement_iterations = 0;
 };
 
 struct PdnSolution {
@@ -66,9 +81,30 @@ class PdnGrid {
 
   /// Solve the mesh: `load_amps` is the current drawn at each node;
   /// `segment_resistance` allows aged overrides (same order as segments).
+  ///
+  /// Uses a cached LU factorization of the conductance matrix that is
+  /// only rebuilt when any segment resistance has drifted more than
+  /// `params.refactor_tolerance` (relative) since the last factorization;
+  /// in between, the stale factors precondition an iterative-refinement
+  /// loop against the true conductances, so the answer matches a fresh
+  /// dense solve to ~1e-12 while costing only back-substitutions.
+  ///
+  /// The cache makes this method non-reentrant: a PdnGrid instance must
+  /// not be solved from two threads at once (parallel sweeps give each
+  /// task its own grid).
   [[nodiscard]] PdnSolution solve(
       std::span<const double> load_amps,
       std::span<const double> segment_resistance) const;
+
+  /// Reference solver: assembles and dense-solves from scratch, no cache.
+  [[nodiscard]] PdnSolution solve_uncached(
+      std::span<const double> load_amps,
+      std::span<const double> segment_resistance) const;
+
+  /// Counters for the cached solver (how often it actually refactorized).
+  [[nodiscard]] const PdnSolveStats& solve_stats() const {
+    return solve_stats_;
+  }
 
   /// Current density in a segment carrying `current`.
   [[nodiscard]] AmpsPerM2 current_density(double current_a) const;
@@ -77,9 +113,26 @@ class PdnGrid {
   [[nodiscard]] const std::vector<std::size_t>& pads() const { return pads_; }
 
  private:
+  [[nodiscard]] math::Matrix assemble_conductance(
+      std::span<const double> segment_resistance) const;
+  [[nodiscard]] std::vector<double> assemble_rhs(
+      std::span<const double> load_amps) const;
+  /// y = G(segment_resistance) * x without forming the matrix.
+  void apply_conductance(std::span<const double> segment_resistance,
+                         std::span<const double> x,
+                         std::vector<double>& y) const;
+  [[nodiscard]] PdnSolution finish_solution(
+      std::vector<double> node_voltage,
+      std::span<const double> segment_resistance) const;
+  void refactorize(std::span<const double> segment_resistance) const;
+
   PdnParams params_;
   std::vector<Segment> segments_;
   std::vector<std::size_t> pads_;
+  // Cached-solver state (logically const: an acceleration structure).
+  mutable std::unique_ptr<math::LuFactorization> lu_;
+  mutable std::vector<double> lu_segment_r_;  // resistances when factorized
+  mutable PdnSolveStats solve_stats_;
 };
 
 }  // namespace dh::pdn

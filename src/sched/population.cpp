@@ -1,0 +1,58 @@
+#include "sched/population.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dh::sched {
+
+std::vector<SystemSummary> run_population(const SystemParams& base,
+                                          std::size_t count,
+                                          Seconds lifetime,
+                                          const PolicyFactory& make_policy) {
+  DH_REQUIRE(count >= 1, "population needs at least one member");
+  DH_REQUIRE(make_policy != nullptr, "a policy factory is required");
+  return parallel_map(count, [&](std::size_t i) {
+    SystemParams p = base;
+    p.seed = Rng::stream_seed(base.seed, i);
+    SystemSimulator sim{p, make_policy(i)};
+    sim.run(lifetime);
+    return sim.summary();
+  });
+}
+
+PopulationAggregates aggregate_population(
+    std::span<const SystemSummary> members) {
+  PopulationAggregates agg;
+  agg.members = members.size();
+  if (members.empty()) return agg;
+  std::vector<double> ttf;
+  agg.min_availability = members.front().availability;
+  for (const auto& m : members) {
+    if (m.time_to_failure.value() >= 0.0) {
+      ++agg.failed;
+      ttf.push_back(m.time_to_failure.value());
+    }
+    agg.mean_guardband += m.guardband_fraction;
+    agg.worst_guardband =
+        std::max(agg.worst_guardband, m.guardband_fraction);
+    agg.mean_availability += m.availability;
+    agg.min_availability = std::min(agg.min_availability, m.availability);
+  }
+  const double n = static_cast<double>(members.size());
+  agg.failed_fraction = static_cast<double>(agg.failed) / n;
+  agg.mean_guardband /= n;
+  agg.mean_availability /= n;
+  if (!ttf.empty()) {
+    agg.ttf_p50_s = stats::median(ttf);
+    if (static_cast<double>(ttf.size()) * 0.01 >= 1.0) {
+      agg.ttf_p1_s = stats::percentile(ttf, 0.01);
+    }
+  }
+  return agg;
+}
+
+}  // namespace dh::sched

@@ -1,0 +1,52 @@
+// Population-scale lifetime sweeps: run many independent SystemSimulator
+// instances (process/seed spread) over the thread pool and aggregate the
+// population statistics designers actually budget against — early TTF
+// percentiles, guardband spread, availability. This is the system-level
+// analogue of the EM wire-population benchmark: the paper's recovery
+// claims are statistical, so they only mean something over populations.
+//
+// Determinism: member i derives its seed as Rng::stream_seed(base.seed, i)
+// — a pure function of (base seed, index) — and each member owns every
+// piece of mutable state it touches, so sweep results are bit-identical
+// regardless of thread count.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sched/system_sim.hpp"
+
+namespace dh::sched {
+
+/// Builds the recovery policy for population member `index`. Called once
+/// per member, possibly concurrently — must not share mutable state.
+using PolicyFactory =
+    std::function<std::unique_ptr<RecoveryPolicy>(std::size_t index)>;
+
+struct PopulationAggregates {
+  std::size_t members = 0;
+  std::size_t failed = 0;          // members whose PDN failed in-lifetime
+  double failed_fraction = 0.0;
+  /// TTF percentiles over the *failing* members (seconds); negative when
+  /// fewer than 1/p members failed (percentile undefined).
+  double ttf_p1_s = -1.0;
+  double ttf_p50_s = -1.0;
+  double mean_guardband = 0.0;
+  double worst_guardband = 0.0;
+  double mean_availability = 0.0;
+  double min_availability = 0.0;
+};
+
+/// Run `count` independent lifetime simulations of `base` (seed varied
+/// per member), each for `lifetime`, over the global thread pool.
+/// Returns per-member summaries ordered by member index.
+[[nodiscard]] std::vector<SystemSummary> run_population(
+    const SystemParams& base, std::size_t count, Seconds lifetime,
+    const PolicyFactory& make_policy);
+
+/// Population statistics over per-member summaries.
+[[nodiscard]] PopulationAggregates aggregate_population(
+    std::span<const SystemSummary> members);
+
+}  // namespace dh::sched

@@ -142,19 +142,22 @@ void SystemSimulator::step() {
   }
   pdn_.step(loads, thermal_.max_temperature(), dt,
             decision.em_recovery_mode);
-  if (first_failure_s_ < 0.0 && pdn_.failed()) {
-    first_failure_s_ = now_s_ + dt.value();
-  }
 
-  // 7. Metrics.
-  now_s_ += dt.value();
+  // 7. Metrics. Simulated time is derived from the integer step count so
+  // multi-year runs accumulate no floating-point drift (repeated
+  // `now_s_ += dt` loses ~1 ulp per step and makes run(lifetime) execute
+  // one step too many or too few).
+  ++steps_;
+  now_s_ = static_cast<double>(steps_) * dt.value();
+  if (first_failure_s_ < 0.0 && pdn_.failed()) {
+    first_failure_s_ = now_s_;
+  }
   double worst_deg = 0.0;
   for (const auto& c : cores_) {
     worst_deg = std::max(worst_deg, c.degradation());
   }
   guardband_ = std::max(guardband_, worst_deg);
   temp_acc_ += thermal_.mean_temperature().value();
-  ++steps_;
   degradation_trace_.append(Seconds{now_s_}, worst_deg);
   ir_drop_trace_.append(Seconds{now_s_}, pdn_.stats().worst_drop_v);
   temperature_trace_.append(Seconds{now_s_},
@@ -163,7 +166,12 @@ void SystemSimulator::step() {
 
 void SystemSimulator::run(Seconds lifetime) {
   DH_REQUIRE(lifetime.value() > 0.0, "lifetime must be positive");
-  while (now_s_ < lifetime.value()) {
+  // Run exactly ceil(lifetime / quantum) steps total (absolute target, so
+  // repeated run() calls compose). The 1e-9 slack keeps an exact multiple
+  // from rounding up on floating-point noise in the division.
+  const auto target = static_cast<std::size_t>(
+      std::ceil(lifetime.value() / params_.quantum.value() - 1e-9));
+  while (steps_ < target) {
     step();
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace dh::sram {
 
@@ -25,10 +26,15 @@ void SramArray::step(Celsius temperature, Seconds dt,
              "boost fraction must be in [0,1]");
   const Seconds hold{dt.value() * (1.0 - boost_fraction)};
   const Seconds boost{dt.value() * boost_fraction};
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    if (params_.pattern == DataPattern::kFlipping) {
+  // Data re-randomization stays serial (one shared stream, draw order is
+  // part of the array's deterministic behaviour); the per-cell aging
+  // physics is independent and runs over the pool.
+  if (params_.pattern == DataPattern::kFlipping) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
       bits_[i] = rng_.bernoulli(params_.p_one);
     }
+  }
+  parallel_for(cells_.size(), [&](std::size_t i) {
     if (hold.value() > 0.0) {
       cells_[i].step(CellMode::kHold, bits_[i], temperature, hold);
     }
@@ -36,19 +42,26 @@ void SramArray::step(Celsius temperature, Seconds dt,
       cells_[i].step(CellMode::kRecoveryBoost, bits_[i], temperature,
                      boost);
     }
-  }
+  });
 }
 
 SramArrayHealth SramArray::scan_health() const {
+  // The per-cell SNM is a butterfly-curve circuit solve — the expensive
+  // part — so it fans out over the pool; the reduction runs serially in
+  // index order so the mean is bit-identical at any thread count.
+  const std::vector<double> snm =
+      parallel_map(cells_.size(), [&](std::size_t i) {
+        return cells_[i].hold_snm().value();
+      });
   SramArrayHealth h;
   h.worst_snm = Volts{1e9};
   double acc = 0.0;
-  for (const auto& c : cells_) {
-    const Volts snm = c.hold_snm();
-    h.worst_snm = std::min(h.worst_snm, snm);
-    acc += snm.value();
-    h.worst_pmos_dvth = std::max(
-        {h.worst_pmos_dvth, c.left_pmos_dvth(), c.right_pmos_dvth()});
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    h.worst_snm = std::min(h.worst_snm, Volts{snm[i]});
+    acc += snm[i];
+    h.worst_pmos_dvth =
+        std::max({h.worst_pmos_dvth, cells_[i].left_pmos_dvth(),
+                  cells_[i].right_pmos_dvth()});
   }
   h.mean_snm = Volts{acc / static_cast<double>(cells_.size())};
   return h;

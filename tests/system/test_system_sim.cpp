@@ -19,6 +19,34 @@ SystemParams small_system() {
   return p;
 }
 
+TEST(SystemSim, SimulatedTimeHasNoFloatingPointDrift) {
+  // now() is derived from the integer step count, not accumulated by
+  // repeated `now += dt` — a multi-year run must land exactly on
+  // steps * quantum (repeated addition drifts by hundreds of ulps).
+  SystemParams p = small_system();
+  p.quantum = Seconds{0.1};  // 0.1 is not exactly representable
+  SystemSimulator sim{p, make_no_recovery_policy()};
+  const int steps = 1000;
+  for (int i = 0; i < steps; ++i) sim.step();
+  EXPECT_DOUBLE_EQ(sim.now().value(),
+                   static_cast<double>(steps) * p.quantum.value());
+}
+
+TEST(SystemSim, RunExecutesExactStepCount) {
+  // 30 days at 6 h quanta is exactly 120 steps; fp noise in the
+  // accumulated clock must not add or drop a step.
+  SystemSimulator sim{small_system(), make_no_recovery_policy()};
+  sim.run(days(30.0));
+  EXPECT_DOUBLE_EQ(in_hours(sim.now()), 30.0 * 24.0);
+  // run() targets are absolute, so continuing composes exactly.
+  sim.run(days(45.0));
+  EXPECT_DOUBLE_EQ(in_hours(sim.now()), 45.0 * 24.0);
+  // A lifetime that is not a multiple of the quantum rounds up (the
+  // simulator finishes the quantum in flight).
+  sim.run(days(45.0) + hours(1.0));
+  EXPECT_DOUBLE_EQ(in_hours(sim.now()), 45.0 * 24.0 + 6.0);
+}
+
 TEST(SystemSim, RunsAndRecordsTraces) {
   SystemSimulator sim{small_system(), make_no_recovery_policy()};
   sim.run(days(30.0));
