@@ -4,16 +4,23 @@
 // Before the google-benchmark suite runs, a wall-clock section times the
 // parallel-execution layer (serial vs pool) and the cached PDN solver
 // (cached vs fresh dense solve) and writes the numbers to
-// BENCH_parallel.json in the working directory, so future PRs can track
-// the throughput trajectory machine-readably.
+// BENCH_parallel.json (routed through obs::json_output_path, so
+// DH_BENCH_DIR controls where results land), so future PRs can track the
+// throughput trajectory machine-readably. A second section prices the
+// observability layer itself — record-call micro-costs and whole-sim
+// overhead — into BENCH_obs.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <vector>
 
 #include "circuit/assist.hpp"
+#include "common/obs/bench_io.hpp"
+#include "common/obs/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "device/bti_model.hpp"
@@ -239,7 +246,7 @@ void write_parallel_json() {
   });
   const auto& st = grid.solve_stats();
 
-  std::ofstream json("BENCH_parallel.json");
+  std::ofstream json(obs::json_output_path("BENCH_parallel.json"));
   json << "{\n";
   json << "  \"threads\": " << threads << ",\n";
   json << "  \"em_population\": {\"wires\": " << kWires
@@ -272,10 +279,101 @@ void write_parallel_json() {
       kSteps);
 }
 
+/// Prices the observability layer at the record-call level (counter add,
+/// histogram observe, gated-off flag check) and on a short system-sim
+/// run, writing BENCH_obs_kernels.json. fig12_system_schedule owns the
+/// canonical BENCH_obs.json (full 2-year workload); this file tracks the
+/// per-call micro-costs so a regression shows up even without the long
+/// run.
+void write_obs_kernels_json() {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::size_t kOps = 2'000'000;
+  obs::Counter& counter = obs::registry().counter("bench.obs.counter");
+  obs::Histogram& hist =
+      obs::registry().histogram("bench.obs.hist", "ms");
+
+  const auto time_ns_per_op = [&](const std::function<void()>& body) {
+    const auto t0 = Clock::now();
+    body();
+    return std::chrono::duration<double, std::nano>(Clock::now() - t0)
+               .count() /
+           static_cast<double>(kOps);
+  };
+  const double counter_on_ns = time_ns_per_op([&] {
+    for (std::size_t i = 0; i < kOps; ++i) counter.add();
+  });
+  const double hist_on_ns = time_ns_per_op([&] {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      hist.observe(static_cast<double>(i & 1023) + 0.5);
+    }
+  });
+  obs::set_enabled(false);
+  const double counter_off_ns = time_ns_per_op([&] {
+    for (std::size_t i = 0; i < kOps; ++i) counter.add();
+  });
+  const double hist_off_ns = time_ns_per_op([&] {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      hist.observe(static_cast<double>(i & 1023) + 0.5);
+    }
+  });
+  obs::set_enabled(true);
+
+  // Whole-sim overhead on a short default-chip run (fig12 measures the
+  // full 2-year workload; this is the fast canary). Two sims stepped in
+  // alternating 50-quantum blocks so both modes see the same machine
+  // state; best-of-block minima stand in for the unperturbed times.
+  constexpr int kQuanta = 400;
+  constexpr int kSimBlock = 50;
+  sched::SystemParams p;
+  sched::SystemSimulator sim_base{p, sched::make_periodic_active_policy()};
+  sched::SystemSimulator sim_inst{p, sched::make_periodic_active_policy()};
+  const auto sim_block_ms = [&](sched::SystemSimulator& sim) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kSimBlock; ++i) sim.step();
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+  double sim_baseline_ms = 0.0;
+  double sim_metrics_ms = 0.0;
+  std::vector<double> sim_ratio;
+  for (int done = 0; done < kQuanta; done += kSimBlock) {
+    obs::set_enabled(false);
+    const double tb = sim_block_ms(sim_base);
+    obs::set_enabled(true);
+    const double tm = sim_block_ms(sim_inst);
+    sim_baseline_ms += tb;
+    sim_metrics_ms += tm;
+    if (done > 0 && tb > 0.0) sim_ratio.push_back(tm / tb);
+  }
+  std::sort(sim_ratio.begin(), sim_ratio.end());
+  const double sim_overhead_pct =
+      sim_ratio.empty()
+          ? 0.0
+          : 100.0 * (sim_ratio[sim_ratio.size() / 2] - 1.0);
+
+  std::ofstream json(obs::json_output_path("BENCH_obs_kernels.json"));
+  json << "{\n";
+  json << "  \"record_ns_per_op\": {\"counter_on\": " << counter_on_ns
+       << ", \"counter_off\": " << counter_off_ns
+       << ", \"histogram_on\": " << hist_on_ns
+       << ", \"histogram_off\": " << hist_off_ns << "},\n";
+  json << "  \"system_sim\": {\"quanta\": " << kQuanta
+       << ", \"baseline_ms\": " << sim_baseline_ms
+       << ", \"metrics_ms\": " << sim_metrics_ms
+       << ", \"overhead_pct\": " << sim_overhead_pct << "}\n";
+  json << "}\n";
+  std::printf(
+      "BENCH_obs_kernels.json written: counter %.1f/%.1f ns on/off, "
+      "histogram %.1f/%.1f ns on/off, sim overhead %+.2f%%\n",
+      counter_on_ns, counter_off_ns, hist_on_ns, hist_off_ns,
+      sim_overhead_pct);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   write_parallel_json();
+  write_obs_kernels_json();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,24 @@
+#include "common/obs/bench_io.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace dh::obs {
+
+std::string json_output_path(const std::string& filename) {
+  DH_REQUIRE(!filename.empty(), "bench output filename must not be empty");
+  const char* dir = std::getenv("DH_BENCH_DIR");
+  if (dir == nullptr || dir[0] == '\0') return filename;
+  const std::filesystem::path base{dir};
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);
+  if (ec) {
+    throw Error("DH_BENCH_DIR='" + std::string(dir) +
+                "' cannot be created: " + ec.message());
+  }
+  return (base / filename).string();
+}
+
+}  // namespace dh::obs

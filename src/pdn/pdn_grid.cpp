@@ -4,8 +4,33 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/profile.hpp"
 
 namespace dh::pdn {
+
+namespace {
+
+// Registry view of the cached-solver behavior, aggregated across every
+// PdnGrid instance in the process (per-instance numbers stay available
+// via PdnGrid::solve_stats).
+struct PdnMetrics {
+  obs::Counter& solves = obs::registry().counter("pdn.solve.calls");
+  obs::Counter& cache_hits = obs::registry().counter("pdn.solve.cache_hits");
+  obs::Counter& factorizations =
+      obs::registry().counter("pdn.solve.factorizations");
+  obs::Counter& refinement_iterations =
+      obs::registry().counter("pdn.solve.refinement_iterations");
+  obs::Counter& fallback_refactorizations =
+      obs::registry().counter("pdn.solve.fallback_refactorizations");
+};
+
+PdnMetrics& pdn_metrics() {
+  static PdnMetrics* m = new PdnMetrics();
+  return *m;
+}
+
+}  // namespace
 
 PdnGrid::PdnGrid(PdnParams params) : params_(std::move(params)) {
   DH_REQUIRE(params_.rows >= 2 && params_.cols >= 2,
@@ -123,14 +148,19 @@ PdnSolution PdnGrid::finish_solution(
 
 void PdnGrid::refactorize(
     std::span<const double> segment_resistance) const {
+  DH_PROF_SCOPE("pdn.refactorize");
   lu_ = std::make_unique<math::LuFactorization>(
       assemble_conductance(segment_resistance));
   lu_segment_r_.assign(segment_resistance.begin(), segment_resistance.end());
   ++solve_stats_.factorizations;
+  pdn_metrics().factorizations.add();
 }
 
 PdnSolution PdnGrid::solve(std::span<const double> load_amps,
                            std::span<const double> segment_resistance) const {
+  // No wall-time scope here: solve sits on the per-quantum hot path and a
+  // timer would cost two clock reads per call. Counts come from the
+  // registry counters; timing lives on the rare refactorize path.
   const std::size_t n = node_count();
   DH_REQUIRE(load_amps.size() == n, "load vector size mismatch");
   DH_REQUIRE(segment_resistance.size() == segments_.size(),
@@ -140,6 +170,7 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
                "segment resistance must be positive");
   }
   ++solve_stats_.solves;
+  pdn_metrics().solves.add();
 
   bool exact = lu_ != nullptr;
   bool refactor = lu_ == nullptr;
@@ -157,6 +188,8 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
   if (refactor) {
     refactorize(segment_resistance);
     exact = true;
+  } else {
+    pdn_metrics().cache_hits.add();
   }
 
   std::vector<double> rhs = assemble_rhs(load_amps);
@@ -177,6 +210,7 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
       const std::vector<double> dv = lu_->solve(residual);
       for (std::size_t i = 0; i < n; ++i) v[i] += dv[i];
       ++solve_stats_.refinement_iterations;
+      pdn_metrics().refinement_iterations.add();
       if (math::norm_inf(dv) <=
           1e-13 * std::max(1.0, math::norm_inf(v))) {
         converged = true;
@@ -186,6 +220,7 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
     if (!converged) {
       // Drift within tolerance but refinement stalled (e.g. resistance
       // jump exactly at the threshold): fall back to a fresh factorization.
+      pdn_metrics().fallback_refactorizations.add();
       refactorize(segment_resistance);
       v = lu_->solve(rhs);
     }

@@ -4,10 +4,35 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/profile.hpp"
+#include "common/obs/trace.hpp"
 
 namespace dh::sched {
 
 namespace {
+
+// Scheduler telemetry, aggregated across simulator instances. The gauges
+// are written at the same single point that appends the TimeSeries
+// members, so the registry and the traces can never disagree.
+struct SimMetrics {
+  obs::Counter& quanta = obs::registry().counter("sim.quanta");
+  obs::Counter& recovery_quanta =
+      obs::registry().counter("sim.recovery_quanta");
+  obs::Counter& em_recovery_quanta =
+      obs::registry().counter("sim.em_recovery_quanta");
+  obs::Gauge& worst_degradation =
+      obs::registry().gauge("sim.worst_degradation", "frac");
+  obs::Gauge& worst_ir_drop =
+      obs::registry().gauge("sim.worst_ir_drop", "V");
+  obs::Gauge& max_temperature =
+      obs::registry().gauge("sim.max_temperature", "C");
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics* m = new SimMetrics();
+  return *m;
+}
 
 thermal::ThermalGridParams match_thermal(thermal::ThermalGridParams t,
                                          std::size_t rows,
@@ -57,6 +82,7 @@ const Core& SystemSimulator::core(std::size_t i) const {
 }
 
 void SystemSimulator::step() {
+  DH_PROF_SCOPE("sim.step");
   const std::size_t n = cores_.size();
   const Seconds dt = params_.quantum;
 
@@ -116,7 +142,11 @@ void SystemSimulator::step() {
   thermal_.set_power_map(power);
   thermal_.solve_steady();
 
-  // 5. Core aging at tile temperature.
+  // 5. Core aging at tile temperature. The compact-BTI evaluation count
+  // is batched into one add so the per-core loop carries no telemetry.
+  static obs::Counter& bti_evals =
+      obs::registry().counter("bti.compact.evals");
+  bti_evals.add(n);
   double delivered = 0.0;
   double demanded = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -158,10 +188,50 @@ void SystemSimulator::step() {
   }
   guardband_ = std::max(guardband_, worst_deg);
   temp_acc_ += thermal_.mean_temperature().value();
+  const double ir_drop_v = pdn_.stats().worst_drop_v;
+  const double max_temp_c = thermal_.max_temperature().value();
   degradation_trace_.append(Seconds{now_s_}, worst_deg);
-  ir_drop_trace_.append(Seconds{now_s_}, pdn_.stats().worst_drop_v);
-  temperature_trace_.append(Seconds{now_s_},
-                            thermal_.max_temperature().value());
+  ir_drop_trace_.append(Seconds{now_s_}, ir_drop_v);
+  temperature_trace_.append(Seconds{now_s_}, max_temp_c);
+
+  // Telemetry: the per-quantum policy action and health picture. The
+  // recovery_quanta definition (any core in BTI active recovery, or the
+  // grid in EM recovery mode) is shared verbatim by the registry counter,
+  // the trace fields, and trace_report's reconstruction.
+  std::size_t recovery_cores = 0;
+  std::size_t running_cores = 0;
+  for (const CoreAction a : decision.actions) {
+    if (a == CoreAction::kBtiActiveRecovery) ++recovery_cores;
+    if (a == CoreAction::kRun) ++running_cores;
+  }
+  const bool recovering =
+      recovery_cores > 0 || decision.em_recovery_mode;
+  if (recovering) ++recovery_quanta_;
+  SimMetrics& m = sim_metrics();
+  m.quanta.add();
+  if (recovering) m.recovery_quanta.add();
+  if (decision.em_recovery_mode) m.em_recovery_quanta.add();
+  m.worst_degradation.set(worst_deg);
+  m.worst_ir_drop.set(ir_drop_v);
+  m.max_temperature.set(max_temp_c);
+  if (obs::trace_enabled()) {
+    if (recovering && !was_recovering_) {
+      obs::trace_event_at(
+          "sim", "recovery_enter", now_s_,
+          {{"recovery_cores", static_cast<double>(recovery_cores)},
+           {"em_recovery", decision.em_recovery_mode ? 1.0 : 0.0}});
+    }
+    obs::trace_event_at(
+        "sim", "quantum", now_s_,
+        {{"worst_deg", worst_deg},
+         {"ir_drop_v", ir_drop_v},
+         {"max_temp_c", max_temp_c},
+         {"running_cores", static_cast<double>(running_cores)},
+         {"recovery_cores", static_cast<double>(recovery_cores)},
+         {"em_recovery", decision.em_recovery_mode ? 1.0 : 0.0},
+         {"demand", demanded}});
+  }
+  was_recovering_ = recovering;
 }
 
 void SystemSimulator::run(Seconds lifetime) {
@@ -191,6 +261,7 @@ SystemSummary SystemSimulator::summary() const {
   s.energy_joules = energy_j_;
   s.mean_temperature_c =
       steps_ == 0 ? 0.0 : temp_acc_ / static_cast<double>(steps_);
+  s.recovery_quanta = recovery_quanta_;
   s.pdn_stats = pdn_.stats();
   return s;
 }

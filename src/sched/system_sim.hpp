@@ -53,6 +53,9 @@ struct SystemSummary {
   double availability = 0.0;      // fraction of demand served
   double energy_joules = 0.0;
   double mean_temperature_c = 0.0;
+  /// Quanta spent with active recovery in flight (see
+  /// SystemSimulator::recovery_quanta).
+  std::size_t recovery_quanta = 0;
   pdn::AgingPdnStats pdn_stats{};
 };
 
@@ -71,6 +74,16 @@ class SystemSimulator {
   [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
   [[nodiscard]] const Core& core(std::size_t i) const;
   [[nodiscard]] const RecoveryPolicy& policy() const { return *policy_; }
+
+  /// Quanta in which active recovery was in flight (any core in BTI
+  /// active recovery, or the grid in EM recovery mode) — makes schedules
+  /// like Fig. 4's 1h:1h duty cycle directly auditable. Mirrored into the
+  /// registry counter `sim.recovery_quanta` and stamped on every
+  /// `sim/quantum` trace event, so tools/trace_report reproduces it
+  /// exactly from a recorded trace.
+  [[nodiscard]] std::size_t recovery_quanta() const {
+    return recovery_quanta_;
+  }
 
   /// Max fractional degradation across cores vs time.
   [[nodiscard]] const TimeSeries& degradation_trace() const {
@@ -101,6 +114,8 @@ class SystemSimulator {
   double energy_j_ = 0.0;
   double temp_acc_ = 0.0;
   std::size_t steps_ = 0;
+  std::size_t recovery_quanta_ = 0;
+  bool was_recovering_ = false;  // edge detector for recovery_enter events
   double guardband_ = 0.0;
   double first_failure_s_ = -1.0;
   TimeSeries degradation_trace_{"max_degradation", "frac"};

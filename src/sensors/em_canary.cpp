@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/trace.hpp"
 
 namespace dh::sensors {
 
@@ -25,11 +27,26 @@ EmCanaryBank::EmCanaryBank(EmCanaryParams params)
 
 void EmCanaryBank::step(AmpsPerM2 mission_density, Celsius temperature,
                         Seconds dt) {
+  const std::size_t tripped_before = tripped();
   for (std::size_t i = 0; i < canaries_.size(); ++i) {
     // Same current forced through the narrower cross-section.
     const double scale = 1.0 / params_.width_scales[i];
     canaries_[i].step(AmpsPerM2{mission_density.value() * scale},
                       temperature, dt);
+  }
+  static obs::Counter& steps =
+      obs::registry().counter("sensors.canary.steps");
+  steps.add();
+  const std::size_t tripped_now = tripped();
+  static obs::Gauge& tripped_gauge =
+      obs::registry().gauge("sensors.canary.tripped");
+  tripped_gauge.set(static_cast<double>(tripped_now));
+  if (tripped_now > tripped_before && obs::trace_enabled()) {
+    obs::trace_event(
+        "sensors", "canary_trip",
+        {{"tripped", static_cast<double>(tripped_now)},
+         {"bank_size", static_cast<double>(canaries_.size())},
+         {"life_consumed", estimated_life_consumed()}});
   }
 }
 

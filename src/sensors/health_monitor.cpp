@@ -1,6 +1,8 @@
 #include "sensors/health_monitor.hpp"
 
 #include "common/error.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/obs/trace.hpp"
 
 namespace dh::sensors {
 
@@ -19,10 +21,29 @@ double HealthMonitor::update(double reading) {
                 (1.0 - params_.ewma_alpha) * estimate_;
   }
   ++readings_;
+  const bool was_alarm = alarm_;
   if (!alarm_ && estimate_ >= params_.trip) {
     alarm_ = true;
   } else if (alarm_ && estimate_ <= params_.clear) {
     alarm_ = false;
+  }
+  static obs::Counter& readings =
+      obs::registry().counter("sensors.health.readings");
+  readings.add();
+  static obs::Gauge& estimate =
+      obs::registry().gauge("sensors.health.estimate", "V");
+  estimate.set(estimate_);
+  if (alarm_ != was_alarm) {
+    static obs::Counter& transitions =
+        obs::registry().counter("sensors.health.alarm_transitions");
+    transitions.add();
+    if (obs::trace_enabled()) {
+      obs::trace_event("sensors", alarm_ ? "alarm_trip" : "alarm_clear",
+                       {{"estimate", estimate_},
+                        {"reading", reading},
+                        {"threshold", alarm_ ? params_.trip
+                                             : params_.clear}});
+    }
   }
   return estimate_;
 }
