@@ -111,6 +111,42 @@ void BM_PdnIrSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_PdnIrSolve)->Arg(4)->Arg(8)->Arg(12);
 
+// Dense-vs-sparse solve kernels at n in {64, 256, 1024, 4096} nodes
+// (grid sides 8..64). Dense is the from-scratch LU reference
+// (solve_uncached); sparse is a fresh engine solve — CSR assembly +
+// factorization + solve — so the comparison is end-to-end, not
+// back-substitution vs LU. The 64x64 dense case takes tens of seconds
+// per iteration; filter with --benchmark_filter if that matters.
+void BM_PdnDenseSolve(benchmark::State& state) {
+  pdn::PdnParams p;
+  p.rows = p.cols = static_cast<std::size_t>(state.range(0));
+  const pdn::PdnGrid grid{p};
+  const std::vector<double> loads(grid.node_count(), 0.002);
+  const auto r = grid.fresh_segment_resistances(Celsius{85.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.solve_uncached(loads, r));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(grid.node_count()));
+}
+BENCHMARK(BM_PdnDenseSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_PdnSparseSolve(benchmark::State& state) {
+  pdn::PdnParams p;
+  p.rows = p.cols = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> loads(p.rows * p.cols, 0.002);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const pdn::PdnGrid grid{p};  // fresh cache: time factor + solve
+    const auto r = grid.fresh_segment_resistances(Celsius{85.0});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(grid.solve(loads, r));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(p.rows * p.cols));
+}
+BENCHMARK(BM_PdnSparseSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
 // The cached solver on a slowly drifting grid (EM-like aging): most
 // iterations are back-substitutions plus a few refinement sweeps.
 void BM_PdnIrSolveCached(benchmark::State& state) {
@@ -369,11 +405,102 @@ void write_obs_kernels_json() {
       sim_overhead_pct);
 }
 
+/// Dense-LU vs sparse-engine scaling curve for the PDN IR solve at
+/// n in {64, 256, 1024, 4096} nodes, written to BENCH_sparse.json. Each
+/// row times: the from-scratch dense reference (solve_uncached), a cold
+/// sparse solve (CSR assembly + factorization + solve), and the
+/// steady-state cached sparse solve under slow EM drift — plus which
+/// engine ran and how many CG iterations it spent. The acceptance bar is
+/// the 64x64 row: cold sparse must beat dense by >= 10x.
+void write_sparse_json() {
+  struct Row {
+    std::size_t side = 0;
+    std::size_t nodes = 0;
+    double dense_ms = 0.0;
+    double sparse_cold_ms = 0.0;
+    double sparse_cached_ms = 0.0;
+    double speedup_cold = 0.0;
+    const char* method = "";
+    std::size_t cg_iterations = 0;
+  };
+  std::vector<Row> rows;
+  for (const std::size_t side : {8ul, 16ul, 32ul, 64ul}) {
+    Row row;
+    row.side = side;
+    row.nodes = side * side;
+    pdn::PdnParams p;
+    p.rows = p.cols = side;
+    const pdn::PdnGrid grid{p};
+    const std::vector<double> loads(grid.node_count(), 0.002);
+    const auto r = grid.fresh_segment_resistances(Celsius{85.0});
+
+    // Repetition counts sized so small grids get a measurable window
+    // while the O(n^3) dense solve at n = 4096 runs exactly once.
+    const int dense_reps = side <= 8 ? 50 : side <= 16 ? 10 : side <= 32 ? 2 : 1;
+    row.dense_ms = wall_ms([&] {
+                     for (int i = 0; i < dense_reps; ++i) {
+                       benchmark::DoNotOptimize(grid.solve_uncached(loads, r));
+                     }
+                   }) /
+                   dense_reps;
+
+    const int sparse_reps = side <= 32 ? 20 : 5;
+    row.sparse_cold_ms = wall_ms([&] {
+                           for (int i = 0; i < sparse_reps; ++i) {
+                             const pdn::PdnGrid cold{p};
+                             benchmark::DoNotOptimize(cold.solve(loads, r));
+                           }
+                         }) /
+                         sparse_reps;
+
+    auto drift_r = r;
+    (void)grid.solve(loads, drift_r);  // warm the cache
+    constexpr int kCachedReps = 50;
+    row.sparse_cached_ms = wall_ms([&] {
+                             for (int i = 0; i < kCachedReps; ++i) {
+                               for (double& x : drift_r) x *= 1.0 + 1e-5;
+                               benchmark::DoNotOptimize(
+                                   grid.solve(loads, drift_r));
+                             }
+                           }) /
+                           kCachedReps;
+    row.speedup_cold =
+        row.sparse_cold_ms > 0.0 ? row.dense_ms / row.sparse_cold_ms : 0.0;
+    row.method = to_string(grid.solver_method());
+    row.cg_iterations = grid.solve_stats().cg_iterations;
+    rows.push_back(row);
+  }
+
+  std::ofstream json(obs::json_output_path("BENCH_sparse.json"));
+  json << "{\n  \"pdn_solve_scaling\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"grid\": \"" << row.side << "x" << row.side
+         << "\", \"nodes\": " << row.nodes << ", \"method\": \""
+         << row.method << "\", \"dense_ms\": " << row.dense_ms
+         << ", \"sparse_cold_ms\": " << row.sparse_cold_ms
+         << ", \"sparse_cached_ms\": " << row.sparse_cached_ms
+         << ", \"speedup_cold\": " << row.speedup_cold
+         << ", \"cg_iterations\": " << row.cg_iterations << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  for (const Row& row : rows) {
+    std::printf(
+        "BENCH_sparse %2zux%-2zu (%4zu nodes, %-15s): dense %9.3f ms, "
+        "sparse cold %7.3f ms (%.0fx), cached %7.3f ms, cg_iters %zu\n",
+        row.side, row.side, row.nodes, row.method, row.dense_ms,
+        row.sparse_cold_ms, row.speedup_cold, row.sparse_cached_ms,
+        row.cg_iterations);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   write_parallel_json();
   write_obs_kernels_json();
+  write_sparse_json();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

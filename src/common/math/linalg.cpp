@@ -96,13 +96,26 @@ std::vector<double> solve_tridiagonal(std::span<const double> lower,
                                       std::span<const double> diag,
                                       std::span<const double> upper,
                                       std::span<const double> rhs) {
+  std::vector<double> x(diag.size());
+  TridiagonalWorkspace ws;
+  solve_tridiagonal(lower, diag, upper, rhs, x, ws);
+  return x;
+}
+
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper,
+                       std::span<const double> rhs, std::span<double> x,
+                       TridiagonalWorkspace& ws) {
   const std::size_t n = diag.size();
   DH_REQUIRE(n >= 1, "tridiagonal system must be non-empty");
   DH_REQUIRE(lower.size() == n - 1 && upper.size() == n - 1 &&
-                 rhs.size() == n,
+                 rhs.size() == n && x.size() == n,
              "tridiagonal band sizes inconsistent");
-  std::vector<double> c_prime(n, 0.0);
-  std::vector<double> d_prime(n, 0.0);
+  ws.c_prime.resize(n);
+  ws.d_prime.resize(n);
+  double* const c_prime = ws.c_prime.data();
+  double* const d_prime = ws.d_prime.data();
   DH_REQUIRE(std::abs(diag[0]) > 1e-300, "tridiagonal pivot underflow");
   c_prime[0] = n > 1 ? upper[0] / diag[0] : 0.0;
   d_prime[0] = rhs[0] / diag[0];
@@ -112,12 +125,10 @@ std::vector<double> solve_tridiagonal(std::span<const double> lower,
     if (i < n - 1) c_prime[i] = upper[i] / denom;
     d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / denom;
   }
-  std::vector<double> x(n);
   x[n - 1] = d_prime[n - 1];
   for (std::size_t ii = n - 1; ii-- > 0;) {
     x[ii] = d_prime[ii] - c_prime[ii] * x[ii + 1];
   }
-  return x;
 }
 
 double norm2(std::span<const double> v) {

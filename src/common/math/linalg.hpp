@@ -70,6 +70,23 @@ class LuFactorization {
     std::span<const double> lower, std::span<const double> diag,
     std::span<const double> upper, std::span<const double> rhs);
 
+/// Caller-owned scratch for the in-place Thomas solve below, so repeated
+/// solves (e.g. every backward-Euler substep of every Korhonen wire)
+/// allocate nothing after the first call.
+struct TridiagonalWorkspace {
+  std::vector<double> c_prime;
+  std::vector<double> d_prime;
+};
+
+/// In-place Thomas solve writing the solution into `x` (n entries).
+/// `x` may alias `rhs`; the band spans are read-only. Scratch comes from
+/// `ws`, grown on first use and reused afterwards.
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper,
+                       std::span<const double> rhs, std::span<double> x,
+                       TridiagonalWorkspace& ws);
+
 /// Euclidean norm.
 [[nodiscard]] double norm2(std::span<const double> v);
 

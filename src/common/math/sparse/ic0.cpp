@@ -1,0 +1,114 @@
+#include "common/math/sparse/ic0.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dh::math::sparse {
+
+IncompleteCholesky::IncompleteCholesky(const CsrMatrix& a) : n_(a.rows()) {
+  DH_REQUIRE(a.rows() == a.cols(), "IC(0) requires a square matrix");
+  // Manteuffel shift ladder: IC(0) can break down on SPD matrices whose
+  // dropped fill would have kept the pivots positive; shifting the
+  // diagonal restores existence at a small preconditioner-quality cost.
+  double alpha = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (factorize(a, alpha)) {
+      shift_ = alpha;
+      return;
+    }
+    alpha = alpha == 0.0 ? 1e-3 : alpha * 10.0;
+  }
+  throw Error{
+      "IC(0) factorization broke down (non-positive pivot) even with "
+      "diagonal shift " +
+      std::to_string(alpha) +
+      " — matrix is not positive definite or is singular to working "
+      "precision"};
+}
+
+bool IncompleteCholesky::factorize(const CsrMatrix& a, double alpha) {
+  const auto& a_ptr = a.row_ptr();
+  const auto& a_col = a.col_idx();
+  const auto& a_val = a.values();
+
+  // Lower-triangle pattern of A (columns ascending, diagonal last).
+  row_ptr_.assign(n_ + 1, 0);
+  col_idx_.clear();
+  values_.clear();
+  for (std::size_t i = 0; i < n_; ++i) {
+    bool has_diag = false;
+    for (std::size_t k = a_ptr[i]; k < a_ptr[i + 1]; ++k) {
+      const std::size_t j = a_col[k];
+      if (j > i) break;  // columns are sorted
+      col_idx_.push_back(j);
+      double v = a_val[k];
+      if (j == i) {
+        has_diag = true;
+        v += alpha * std::abs(v);
+      }
+      values_.push_back(v);
+    }
+    if (!has_diag) return false;  // structurally rank-deficient row
+    row_ptr_[i + 1] = col_idx_.size();
+  }
+
+  // Row-oriented up-looking factorization restricted to the pattern.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t i_begin = row_ptr_[i];
+    const std::size_t i_diag = row_ptr_[i + 1] - 1;  // diagonal is last
+    for (std::size_t ki = i_begin; ki <= i_diag; ++ki) {
+      const std::size_t j = col_idx_[ki];
+      // Sparse dot of rows i and j over columns < j.
+      double acc = 0.0;
+      std::size_t pi = i_begin;
+      std::size_t pj = row_ptr_[j];
+      const std::size_t j_diag = row_ptr_[j + 1] - 1;
+      while (pi < ki && pj < j_diag) {
+        if (col_idx_[pi] == col_idx_[pj]) {
+          acc += values_[pi++] * values_[pj++];
+        } else if (col_idx_[pi] < col_idx_[pj]) {
+          ++pi;
+        } else {
+          ++pj;
+        }
+      }
+      if (j < i) {
+        values_[ki] = (values_[ki] - acc) / values_[j_diag];
+      } else {
+        const double s = values_[ki] - acc;
+        if (!(s > 0.0) || !std::isfinite(s)) return false;
+        values_[ki] = std::sqrt(s);
+      }
+    }
+  }
+  return true;
+}
+
+void IncompleteCholesky::apply(std::span<const double> r,
+                               std::vector<double>& z) const {
+  DH_REQUIRE(r.size() == n_, "IC(0) apply dimension mismatch");
+  z.resize(n_);
+  // Forward sweep: L y = r (diagonal entry is last in each row).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = r[i];
+    const std::size_t diag = row_ptr_[i + 1] - 1;
+    for (std::size_t k = row_ptr_[i]; k < diag; ++k) {
+      acc -= values_[k] * z[col_idx_[k]];
+    }
+    z[i] = acc / values_[diag];
+  }
+  // Backward sweep: L^T z = y, scattered row-wise so only row access is
+  // needed. Entry L(i,j) (j < i) feeds equation j, finalized later.
+  for (std::size_t i = n_; i-- > 0;) {
+    const std::size_t diag = row_ptr_[i + 1] - 1;
+    const double zi = z[i] / values_[diag];
+    z[i] = zi;
+    for (std::size_t k = row_ptr_[i]; k < diag; ++k) {
+      z[col_idx_[k]] -= values_[k] * zi;
+    }
+  }
+}
+
+}  // namespace dh::math::sparse

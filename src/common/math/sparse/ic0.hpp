@@ -1,0 +1,48 @@
+// Incomplete Cholesky with zero fill-in, IC(0): L keeps exactly the lower
+// triangle of A's sparsity pattern, so for 5-point-stencil grids the
+// factor costs O(nnz) memory and its triangular solves O(nnz) time. Used
+// as the PCG preconditioner for large PDN/thermal systems; the factor of
+// a slightly *stale* matrix still preconditions the drifted operator,
+// which is what makes the PDN drift-tolerance cache work sparsely.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/math/sparse/cg.hpp"
+#include "common/math/sparse/csr.hpp"
+
+namespace dh::math::sparse {
+
+class IncompleteCholesky final : public Preconditioner {
+ public:
+  /// Factorizes the lower triangle of symmetric `a`. When a pivot comes
+  /// out non-positive (IC(0) can break down even on SPD matrices), the
+  /// factorization is retried with a progressively larger Manteuffel
+  /// diagonal shift A + alpha diag(A); throws dh::Error once the shift
+  /// cap is reached (matrix is indefinite or singular to working
+  /// precision).
+  explicit IncompleteCholesky(const CsrMatrix& a);
+
+  /// z = (L L^T)^-1 r: one forward and one backward triangular sweep.
+  void apply(std::span<const double> r,
+             std::vector<double>& z) const override;
+
+  /// Diagonal shift that was needed (0 for a clean factorization).
+  [[nodiscard]] double shift() const { return shift_; }
+
+ private:
+  /// Attempts the factorization with the given shift; false on breakdown.
+  [[nodiscard]] bool factorize(const CsrMatrix& a, double alpha);
+
+  std::size_t n_ = 0;
+  // L in CSR layout; each row's columns are ascending with the diagonal
+  // last, so forward/backward sweeps are single passes.
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+  double shift_ = 0.0;
+};
+
+}  // namespace dh::math::sparse

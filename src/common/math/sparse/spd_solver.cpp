@@ -1,0 +1,218 @@
+#include "common/math/sparse/spd_solver.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/math/sparse/direct.hpp"
+#include "common/math/sparse/ic0.hpp"
+#include "common/obs/metrics.hpp"
+
+namespace dh::math::sparse {
+
+namespace {
+
+/// Lets a dense LU (the breakdown fallback) drive the same drift-
+/// refinement PCG path as the sparse factors.
+class DenseLuPreconditioner final : public Preconditioner {
+ public:
+  explicit DenseLuPreconditioner(const LuFactorization& lu) : lu_(lu) {}
+  void apply(std::span<const double> r,
+             std::vector<double>& z) const override {
+    z = lu_.solve(r);
+  }
+
+ private:
+  const LuFactorization& lu_;
+};
+
+}  // namespace
+
+SpdSolver::~SpdSolver() = default;
+
+const char* to_string(SpdMethod m) {
+  switch (m) {
+    case SpdMethod::kTridiagonal:
+      return "tridiagonal";
+    case SpdMethod::kBandedCholesky:
+      return "banded_cholesky";
+    case SpdMethod::kIc0Cg:
+      return "ic0_cg";
+    case SpdMethod::kDenseLu:
+      return "dense_lu";
+  }
+  return "unknown";
+}
+
+SpdMethod SpdSolver::planned_method(std::size_t n, std::size_t bandwidth,
+                                    const SpdSolverOptions& opts) {
+  if (bandwidth <= 1) return SpdMethod::kTridiagonal;
+  if (n <= opts.direct_max_dim) return SpdMethod::kBandedCholesky;
+  return SpdMethod::kIc0Cg;
+}
+
+SpdSolver::SpdSolver(CsrMatrix a, SpdSolverOptions opts)
+    : a_(std::move(a)), opts_(opts), method_(SpdMethod::kTridiagonal) {
+  DH_REQUIRE(a_.rows() == a_.cols(), "SPD solver requires a square matrix");
+  if (!a_.is_symmetric()) {
+    throw Error{"SPD solver requires a symmetric matrix; assembly produced "
+                "an asymmetric one (" +
+                std::to_string(a_.rows()) + "x" + std::to_string(a_.cols()) +
+                ", " + std::to_string(a_.nnz()) + " nonzeros)"};
+  }
+  method_ = planned_method(a_.rows(), a_.bandwidth(), opts_);
+  try {
+    switch (method_) {
+      case SpdMethod::kTridiagonal:
+        factor_ = std::make_unique<TridiagonalCholesky>(a_);
+        return;
+      case SpdMethod::kBandedCholesky:
+        factor_ = std::make_unique<BandedCholesky>(a_);
+        return;
+      default:
+        factor_ = std::make_unique<IncompleteCholesky>(a_);
+        return;
+    }
+  } catch (const Error&) {
+    // Sparse factorization broke down: the matrix is symmetric but not
+    // numerically positive definite. Dense LU still handles invertible
+    // indefinite systems; a singular one throws its descriptive
+    // zero-pivot error from here.
+    method_ = SpdMethod::kDenseLu;
+    dense_lu_ = std::make_unique<LuFactorization>(a_.to_dense());
+    factor_ = std::make_unique<DenseLuPreconditioner>(*dense_lu_);
+  }
+}
+
+void SpdSolver::record(const SpdSolveInfo& info) const {
+  static obs::Histogram& iters =
+      obs::registry().histogram("solver.cg_iters", "iters");
+  static obs::Gauge& residual =
+      obs::registry().gauge("solver.residual", "rel");
+  if (info.method == SpdMethod::kIc0Cg || info.cg_iterations > 0) {
+    iters.observe(static_cast<double>(info.cg_iterations));
+  }
+  residual.set(info.relative_residual);
+}
+
+std::vector<double> SpdSolver::solve(std::span<const double> b,
+                                     SpdSolveInfo* info) const {
+  DH_REQUIRE(b.size() == a_.rows(), "SPD solve dimension mismatch");
+  SpdSolveInfo local;
+  local.method = method_;
+  const double b_norm = norm2(b);
+  const auto relative = [b_norm](double r) {
+    return b_norm > 0.0 ? r / b_norm : 0.0;
+  };
+  std::vector<double> x;
+  bool solved = false;
+  if (method_ == SpdMethod::kIc0Cg && !cg_rescue_) {
+    const CgResult res = pcg_solve(
+        [this](std::span<const double> v, std::vector<double>& y) {
+          a_.multiply(v, y);
+        },
+        b, *factor_, x, opts_.cg);
+    local.cg_iterations = res.iterations;
+    local.residual_norm = res.residual_norm;
+    // rel_tolerance is aspirational (CG's rounding floor rises with n);
+    // accept_rel_residual is the contract.
+    if (res.converged ||
+        relative(res.residual_norm) <= opts_.accept_rel_residual) {
+      solved = true;
+    } else {
+      // IC(0) can stop preconditioning well once aging spreads the
+      // conductances across many decades (broken segments vs healthy
+      // mesh). A banded Cholesky still factors the same matrix exactly
+      // and stays cheap for mesh bandwidths, so swap to it instead of
+      // failing; only a breakdown there (genuinely singular/indefinite
+      // system) turns into an error.
+      try {
+        cg_rescue_ = std::make_unique<BandedCholesky>(a_);
+      } catch (const Error&) {
+        throw ConvergenceError{
+            "IC(0)-preconditioned CG failed to reach tolerance after " +
+            std::to_string(res.iterations) +
+            " iterations (relative residual " +
+            std::to_string(relative(res.residual_norm)) +
+            ") and the direct rescue factorization broke down — system "
+            "is singular or severely ill-conditioned"};
+      }
+    }
+  }
+  if (!solved) {
+    const Preconditioner* direct = factor_.get();
+    if (cg_rescue_) {
+      cg_rescue_->solve(b, x);
+      direct = cg_rescue_.get();
+    } else if (dense_lu_) {
+      x = dense_lu_->solve(b);
+    } else {
+      factor_->apply(b, x);
+    }
+    // Price the true residual (one O(nnz) product, cheap next to the
+    // back-substitution it follows).
+    std::vector<double> ax(x.size());
+    a_.multiply(x, ax);
+    for (std::size_t i = 0; i < ax.size(); ++i) ax[i] = b[i] - ax[i];
+    local.residual_norm = norm2(ax);
+    if (relative(local.residual_norm) > opts_.accept_rel_residual) {
+      // Ill-conditioned but solvable systems leave a rounding-sized gap
+      // a direct factor cannot close in one sweep; iterative refinement
+      // (CG on A preconditioned by the factor, warm-started from x)
+      // drives it to the double-precision floor. What no engine can fix
+      // is a genuinely singular matrix whose pivots were rounding noise:
+      // its residual stays orders of magnitude above the floor.
+      CgOptions refine = opts_.cg;
+      refine.rel_tolerance =
+          std::max(refine.rel_tolerance, opts_.accept_rel_residual);
+      const CgResult res = pcg_solve(
+          [this](std::span<const double> v, std::vector<double>& y) {
+            a_.multiply(v, y);
+          },
+          b, *direct, x, refine);
+      local.cg_iterations += res.iterations;
+      local.residual_norm = res.residual_norm;
+      if (!res.converged &&
+          relative(res.residual_norm) > opts_.reject_rel_residual) {
+        throw Error{std::string{to_string(method_)} +
+                    " solve stalled at relative residual " +
+                    std::to_string(relative(res.residual_norm)) +
+                    " even with refinement — matrix is singular (zero "
+                    "pivot within rounding) or numerically unsolvable"};
+      }
+    }
+  }
+  local.relative_residual = relative(local.residual_norm);
+  record(local);
+  if (info != nullptr) *info = local;
+  return x;
+}
+
+bool SpdSolver::solve_drifted(const LinearOp& true_op,
+                              std::span<const double> b,
+                              std::vector<double>& x,
+                              SpdSolveInfo* info) const {
+  DH_REQUIRE(b.size() == a_.rows(), "SPD solve dimension mismatch");
+  SpdSolveInfo local;
+  local.method = method_;
+  x.clear();
+  const Preconditioner& pre =
+      cg_rescue_ ? static_cast<const Preconditioner&>(*cg_rescue_)
+                 : *factor_;
+  const CgResult res = pcg_solve(true_op, b, pre, x, opts_.cg);
+  local.cg_iterations = res.iterations;
+  local.residual_norm = res.residual_norm;
+  const double b_norm = norm2(b);
+  local.relative_residual =
+      b_norm > 0.0 ? local.residual_norm / b_norm : 0.0;
+  record(local);
+  if (info != nullptr) *info = local;
+  // Same acceptance bound as solve(): a stale-factor refinement that
+  // stagnates at its rounding floor but within the contract is a hit,
+  // not a reason to refactorize every step.
+  return res.converged ||
+         local.relative_residual <= opts_.accept_rel_residual;
+}
+
+}  // namespace dh::math::sparse

@@ -32,6 +32,10 @@ KorhonenSolver::KorhonenSolver(WireGeometry wire, EmMaterialParams material,
     cell_w_[i] = 0.5 * (x_[i + 1] - x_[i - 1]);
   }
   sigma_.assign(n, 0.0);
+  tri_lower_.assign(n - 1, 0.0);
+  tri_diag_.assign(n, 0.0);
+  tri_upper_.assign(n - 1, 0.0);
+  tri_rhs_.assign(n, 0.0);
 }
 
 void KorhonenSolver::step(AmpsPerM2 j, Celsius temperature, Seconds dt) {
@@ -59,11 +63,13 @@ void KorhonenSolver::substep(AmpsPerM2 j, Kelvin t, double dt) {
   // Assemble the backward-Euler tridiagonal system:
   //   (I/dt - A) sigma^{n+1} = sigma^n/dt + b
   // where A couples neighbours through kappa/h and b carries the wind
-  // source at non-Dirichlet boundary cells.
-  std::vector<double> lower(n - 1, 0.0);
-  std::vector<double> diag(n, 0.0);
-  std::vector<double> upper(n - 1, 0.0);
-  std::vector<double> rhs(n, 0.0);
+  // source at non-Dirichlet boundary cells. The buffers are constructor-
+  // sized members (every entry is overwritten below), so substeps stay
+  // allocation-free.
+  std::vector<double>& lower = tri_lower_;
+  std::vector<double>& diag = tri_diag_;
+  std::vector<double>& upper = tri_upper_;
+  std::vector<double>& rhs = tri_rhs_;
 
   const bool dirichlet0 = void_start_.open;
   const bool dirichletN = void_end_.open;
@@ -93,7 +99,7 @@ void KorhonenSolver::substep(AmpsPerM2 j, Kelvin t, double dt) {
       rhs[i] -= kappa * g / cell_w_[i];  // wind flux through left face
     }
   }
-  sigma_ = math::solve_tridiagonal(lower, diag, upper, rhs);
+  math::solve_tridiagonal(lower, diag, upper, rhs, sigma_, tri_ws_);
 
   // Void growth/healing from the boundary fluxes.
   auto flux_at_face = [&](std::size_t left_node) {

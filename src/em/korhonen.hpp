@@ -32,6 +32,7 @@
 
 #include <vector>
 
+#include "common/math/linalg.hpp"
 #include "common/units.hpp"
 #include "em/material.hpp"
 #include "em/wire.hpp"
@@ -97,6 +98,14 @@ class KorhonenSolver {
   std::vector<double> x_;       // node coordinates
   std::vector<double> cell_w_;  // finite-volume cell widths
   std::vector<double> sigma_;   // stress at nodes (Pa)
+  // Backward-Euler assembly buffers + Thomas scratch, sized once in the
+  // constructor and reused by every substep of every step (the per-wire
+  // hot loop of population sweeps allocates nothing after construction).
+  std::vector<double> tri_lower_;
+  std::vector<double> tri_diag_;
+  std::vector<double> tri_upper_;
+  std::vector<double> tri_rhs_;
+  math::TridiagonalWorkspace tri_ws_;
   VoidState void_start_;
   VoidState void_end_;
   bool broken_ = false;

@@ -23,6 +23,8 @@ struct PdnMetrics {
       obs::registry().counter("pdn.solve.refinement_iterations");
   obs::Counter& fallback_refactorizations =
       obs::registry().counter("pdn.solve.fallback_refactorizations");
+  obs::Counter& cg_iterations =
+      obs::registry().counter("pdn.solve.cg_iterations");
 };
 
 PdnMetrics& pdn_metrics() {
@@ -110,6 +112,19 @@ std::vector<double> PdnGrid::assemble_rhs(
   return rhs;
 }
 
+math::sparse::CsrMatrix PdnGrid::assemble_conductance_csr(
+    std::span<const double> segment_resistance) const {
+  // 5-point stencil: diagonal + up to 4 mesh neighbours per node.
+  math::sparse::CsrBuilder builder(node_count(), node_count(), 5);
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    builder.add_edge(segments_[s].a, segments_[s].b,
+                     1.0 / segment_resistance[s]);
+  }
+  const double g_pad = 1.0 / params_.pad_resistance.value();
+  for (const std::size_t p : pads_) builder.add_diagonal(p, g_pad);
+  return builder.build();
+}
+
 void PdnGrid::apply_conductance(std::span<const double> segment_resistance,
                                 std::span<const double> x,
                                 std::vector<double>& y) const {
@@ -149,11 +164,19 @@ PdnSolution PdnGrid::finish_solution(
 void PdnGrid::refactorize(
     std::span<const double> segment_resistance) const {
   DH_PROF_SCOPE("pdn.refactorize");
-  lu_ = std::make_unique<math::LuFactorization>(
-      assemble_conductance(segment_resistance));
-  lu_segment_r_.assign(segment_resistance.begin(), segment_resistance.end());
+  solver_ = std::make_unique<math::sparse::SpdSolver>(
+      assemble_conductance_csr(segment_resistance), params_.solver);
+  solver_segment_r_.assign(segment_resistance.begin(),
+                           segment_resistance.end());
   ++solve_stats_.factorizations;
   pdn_metrics().factorizations.add();
+}
+
+math::sparse::SpdMethod PdnGrid::solver_method() const {
+  if (solver_ != nullptr) return solver_->method();
+  // Mesh bandwidth: node i couples to i+1 and i+cols.
+  return math::sparse::SpdSolver::planned_method(
+      node_count(), params_.cols, params_.solver);
 }
 
 PdnSolution PdnGrid::solve(std::span<const double> load_amps,
@@ -172,13 +195,13 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
   ++solve_stats_.solves;
   pdn_metrics().solves.add();
 
-  bool exact = lu_ != nullptr;
-  bool refactor = lu_ == nullptr;
+  bool exact = solver_ != nullptr;
+  bool refactor = solver_ == nullptr;
   if (!refactor) {
     for (std::size_t s = 0; s < segments_.size(); ++s) {
       const double drift =
-          std::abs(segment_resistance[s] - lu_segment_r_[s]);
-      if (drift > params_.refactor_tolerance * lu_segment_r_[s]) {
+          std::abs(segment_resistance[s] - solver_segment_r_[s]);
+      if (drift > params_.refactor_tolerance * solver_segment_r_[s]) {
         refactor = true;
         break;
       }
@@ -192,39 +215,36 @@ PdnSolution PdnGrid::solve(std::span<const double> load_amps,
     pdn_metrics().cache_hits.add();
   }
 
-  std::vector<double> rhs = assemble_rhs(load_amps);
-  std::vector<double> v = lu_->solve(rhs);
-  if (!exact) {
-    // The factors describe slightly stale conductances; refine against
-    // the true operator. Each sweep contracts the error by ~the relative
-    // drift (<= tolerance), so the correction size ||dv|| directly bounds
-    // the remaining voltage error — iterate until it is at rounding
-    // level. A handful of back-substitutions recover full accuracy.
-    std::vector<double> gv;
-    std::vector<double> residual(n);
-    constexpr int kMaxRefine = 24;
-    bool converged = false;
-    for (int it = 0; it < kMaxRefine; ++it) {
-      apply_conductance(segment_resistance, v, gv);
-      for (std::size_t i = 0; i < n; ++i) residual[i] = rhs[i] - gv[i];
-      const std::vector<double> dv = lu_->solve(residual);
-      for (std::size_t i = 0; i < n; ++i) v[i] += dv[i];
-      ++solve_stats_.refinement_iterations;
-      pdn_metrics().refinement_iterations.add();
-      if (math::norm_inf(dv) <=
-          1e-13 * std::max(1.0, math::norm_inf(v))) {
-        converged = true;
-        break;
-      }
-    }
+  const std::vector<double> rhs = assemble_rhs(load_amps);
+  std::vector<double> v;
+  math::sparse::SpdSolveInfo info;
+  if (exact) {
+    v = solver_->solve(rhs, &info);
+  } else {
+    // The factor describes slightly stale conductances; run CG against
+    // the *true* operator (matrix-free) preconditioned by the stale
+    // factor. Drift <= tolerance keeps the preconditioned system within
+    // a few percent of the identity, so a handful of iterations recover
+    // full accuracy — the sparse analogue of stale-LU refinement.
+    const bool converged = solver_->solve_drifted(
+        [&](std::span<const double> x, std::vector<double>& y) {
+          apply_conductance(segment_resistance, x, y);
+        },
+        rhs, v, &info);
+    solve_stats_.refinement_iterations += info.cg_iterations;
+    pdn_metrics().refinement_iterations.add(info.cg_iterations);
     if (!converged) {
-      // Drift within tolerance but refinement stalled (e.g. resistance
-      // jump exactly at the threshold): fall back to a fresh factorization.
+      // Drift within tolerance but CG stalled (e.g. resistance jump
+      // exactly at the threshold): fall back to a fresh factorization.
       pdn_metrics().fallback_refactorizations.add();
       refactorize(segment_resistance);
-      v = lu_->solve(rhs);
+      solve_stats_.cg_iterations += info.cg_iterations;
+      pdn_metrics().cg_iterations.add(info.cg_iterations);
+      v = solver_->solve(rhs, &info);
     }
   }
+  solve_stats_.cg_iterations += info.cg_iterations;
+  pdn_metrics().cg_iterations.add(info.cg_iterations);
   return finish_solution(std::move(v), segment_resistance);
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/math/linalg.hpp"
+#include "common/math/sparse/spd_solver.hpp"
 #include "common/units.hpp"
 #include "em/wire.hpp"
 
@@ -36,21 +37,29 @@ struct PdnParams {
   Ohms pad_resistance{0.05};
   /// Pad nodes; empty = the four corners.
   std::vector<std::size_t> pad_nodes;
-  /// Relative per-segment resistance drift that forces the cached LU
-  /// factorization to be rebuilt. Between refactorizations the stale LU
-  /// is used as a preconditioner and the solution is iteratively refined
-  /// against the *true* conductances, so accuracy does not depend on the
-  /// tolerance — only the refinement iteration count does. EM drift is
-  /// slow, so most solves are back-substitutions. Set to 0 to refactorize
-  /// every time resistances change at all.
+  /// Relative per-segment resistance drift that forces the cached sparse
+  /// factorization (IC(0) or direct Cholesky, see math::sparse::SpdSolver)
+  /// to be rebuilt. Between refactorizations the stale factor
+  /// preconditions a conjugate-gradient solve against the *true*
+  /// conductances, so accuracy does not depend on the tolerance — only
+  /// the CG iteration count does. EM drift is slow, so most solves are a
+  /// handful of preconditioned iterations. Set to 0 to refactorize every
+  /// time resistances change at all.
   double refactor_tolerance = 0.05;
+  /// Engine tuning (direct-vs-CG threshold, CG tolerances).
+  math::sparse::SpdSolverOptions solver;
 };
 
 /// Counters for the cached IR solver (see PdnGrid::solve).
 struct PdnSolveStats {
   std::size_t solves = 0;
   std::size_t factorizations = 0;
+  /// CG iterations spent refining against stale (drifted) factors — the
+  /// sparse successor of the dense cache's iterative-refinement sweeps.
   std::size_t refinement_iterations = 0;
+  /// Total preconditioned-CG iterations across all solves (exact solves
+  /// on the IC(0) path plus every drift-refinement iteration).
+  std::size_t cg_iterations = 0;
 };
 
 struct PdnSolution {
@@ -82,12 +91,13 @@ class PdnGrid {
   /// Solve the mesh: `load_amps` is the current drawn at each node;
   /// `segment_resistance` allows aged overrides (same order as segments).
   ///
-  /// Uses a cached LU factorization of the conductance matrix that is
-  /// only rebuilt when any segment resistance has drifted more than
-  /// `params.refactor_tolerance` (relative) since the last factorization;
-  /// in between, the stale factors precondition an iterative-refinement
-  /// loop against the true conductances, so the answer matches a fresh
-  /// dense solve to ~1e-12 while costing only back-substitutions.
+  /// Runs on the sparse engine (common/math/sparse): the CSR conductance
+  /// matrix is factorized — tridiagonal/banded Cholesky for small grids,
+  /// IC(0) for large ones — and the factor is cached until any segment
+  /// resistance drifts more than `params.refactor_tolerance` (relative);
+  /// in between, the stale factor preconditions a CG solve against the
+  /// true conductances (applied matrix-free), so the answer matches a
+  /// fresh dense solve to ~1e-12 while costing only a few iterations.
   ///
   /// The cache makes this method non-reentrant: a PdnGrid instance must
   /// not be solved from two threads at once (parallel sweeps give each
@@ -96,10 +106,16 @@ class PdnGrid {
       std::span<const double> load_amps,
       std::span<const double> segment_resistance) const;
 
-  /// Reference solver: assembles and dense-solves from scratch, no cache.
+  /// Reference solver: assembles and dense-solves (LU) from scratch, no
+  /// cache — the agreement baseline the sparse engine is tested against.
   [[nodiscard]] PdnSolution solve_uncached(
       std::span<const double> load_amps,
       std::span<const double> segment_resistance) const;
+
+  /// Engine the cached solver is using (or will use: derived from the
+  /// grid structure before the first solve). kDenseLu means the sparse
+  /// factorization broke down and the guard tests should fail.
+  [[nodiscard]] math::sparse::SpdMethod solver_method() const;
 
   /// Counters for the cached solver (how often it actually refactorized).
   [[nodiscard]] const PdnSolveStats& solve_stats() const {
@@ -114,6 +130,8 @@ class PdnGrid {
 
  private:
   [[nodiscard]] math::Matrix assemble_conductance(
+      std::span<const double> segment_resistance) const;
+  [[nodiscard]] math::sparse::CsrMatrix assemble_conductance_csr(
       std::span<const double> segment_resistance) const;
   [[nodiscard]] std::vector<double> assemble_rhs(
       std::span<const double> load_amps) const;
@@ -130,8 +148,8 @@ class PdnGrid {
   std::vector<Segment> segments_;
   std::vector<std::size_t> pads_;
   // Cached-solver state (logically const: an acceleration structure).
-  mutable std::unique_ptr<math::LuFactorization> lu_;
-  mutable std::vector<double> lu_segment_r_;  // resistances when factorized
+  mutable std::unique_ptr<math::sparse::SpdSolver> solver_;
+  mutable std::vector<double> solver_segment_r_;  // r when factorized
   mutable PdnSolveStats solve_stats_;
 };
 

@@ -1,8 +1,10 @@
 #include "thermal/thermal_grid.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/obs/metrics.hpp"
 
 namespace dh::thermal {
 
@@ -23,27 +25,26 @@ std::size_t ThermalGrid::index(std::size_t row, std::size_t col) const {
 
 void ThermalGrid::build_conductance() {
   const std::size_t n = tile_count();
-  g_ = math::Matrix(n, n, 0.0);
-  // Lateral conductance between adjacent tiles: k * (w * t) / w = k * t.
+  // 5-point stencil: vertical escape on the diagonal, lateral coupling
+  // k * (w * t) / w = k * t to each mesh neighbour.
+  math::sparse::CsrBuilder builder(n, n, 5);
   const double g_lat =
       params_.k_silicon_w_per_mk * params_.die_thickness.value();
   for (std::size_t r = 0; r < params_.rows; ++r) {
     for (std::size_t c = 0; c < params_.cols; ++c) {
       const std::size_t i = r * params_.cols + c;
-      g_(i, i) += params_.vertical_g_w_per_k;
-      const auto couple = [&](std::size_t j) {
-        g_(i, i) += g_lat;
-        g_(i, j) -= g_lat;
-      };
-      if (r + 1 < params_.rows) couple(i + params_.cols);
-      if (r > 0) couple(i - params_.cols);
-      if (c + 1 < params_.cols) couple(i + 1);
-      if (c > 0) couple(i - 1);
+      builder.add_diagonal(i, params_.vertical_g_w_per_k);
+      if (r + 1 < params_.rows) builder.add_edge(i, i + params_.cols, g_lat);
+      if (c + 1 < params_.cols) builder.add_edge(i, i + 1, g_lat);
     }
   }
-  steady_lu_ = std::make_unique<math::LuFactorization>(g_);
-  transient_lu_.reset();
-  transient_dt_ = -1.0;
+  g_ = builder.build();
+  steady_ = std::make_unique<math::sparse::SpdSolver>(g_, params_.solver);
+  ++stats_.factorizations;
+  static obs::Counter& factorizations =
+      obs::registry().counter("thermal.solve.factorizations");
+  factorizations.add();
+  transient_.clear();
 }
 
 void ThermalGrid::set_power(std::size_t tile, Watts p) {
@@ -60,24 +61,66 @@ void ThermalGrid::set_power_map(std::span<const double> watts) {
   }
 }
 
-void ThermalGrid::solve_steady() { temp_rise_ = steady_lu_->solve(power_); }
+void ThermalGrid::solve_steady() {
+  ++stats_.steady_solves;
+  temp_rise_ = steady_->solve(power_);
+}
+
+const math::sparse::SpdSolver& ThermalGrid::transient_solver(double dt) {
+  for (std::size_t i = 0; i < transient_.size(); ++i) {
+    if (transient_[i].first == dt) {
+      ++stats_.transient_cache_hits;
+      if (i > 0) {  // move to front: MRU order
+        auto hit = std::move(transient_[i]);
+        transient_.erase(transient_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        transient_.insert(transient_.begin(), std::move(hit));
+      }
+      return *transient_.front().second;
+    }
+  }
+  // First sight of this dt: factor G + C/dt on the same sparsity pattern
+  // (every row has a diagonal entry — vertical_g_w_per_k > 0).
+  math::sparse::CsrMatrix a = g_;
+  const double c_dt = params_.tile_heat_capacity_j_per_k / dt;
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  auto& values = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] == r) {
+        values[k] += c_dt;
+        break;
+      }
+    }
+  }
+  transient_.emplace(
+      transient_.begin(), dt,
+      std::make_unique<math::sparse::SpdSolver>(std::move(a),
+                                                params_.solver));
+  if (transient_.size() > kMaxTransientFactors) transient_.pop_back();
+  ++stats_.factorizations;
+  static obs::Counter& factorizations =
+      obs::registry().counter("thermal.solve.factorizations");
+  factorizations.add();
+  return *transient_.front().second;
+}
 
 void ThermalGrid::step(Seconds dt) {
   DH_REQUIRE(dt.value() > 0.0, "time step must be positive");
   const std::size_t n = tile_count();
-  if (transient_dt_ != dt.value() || transient_lu_ == nullptr) {
-    math::Matrix a = g_;
-    const double c_dt = params_.tile_heat_capacity_j_per_k / dt.value();
-    for (std::size_t i = 0; i < n; ++i) a(i, i) += c_dt;
-    transient_lu_ = std::make_unique<math::LuFactorization>(a);
-    transient_dt_ = dt.value();
-  }
+  ++stats_.transient_steps;
+  const math::sparse::SpdSolver& solver = transient_solver(dt.value());
   std::vector<double> rhs(n);
   const double c_dt = params_.tile_heat_capacity_j_per_k / dt.value();
   for (std::size_t i = 0; i < n; ++i) {
     rhs[i] = power_[i] + c_dt * temp_rise_[i];
   }
-  temp_rise_ = transient_lu_->solve(rhs);
+  temp_rise_ = solver.solve(rhs);
+}
+
+math::sparse::SpdMethod ThermalGrid::solver_method() const {
+  return steady_->method();
 }
 
 Celsius ThermalGrid::temperature(std::size_t tile) const {

@@ -13,7 +13,7 @@
 #include <span>
 #include <vector>
 
-#include "common/math/linalg.hpp"
+#include "common/math/sparse/spd_solver.hpp"
 #include "common/units.hpp"
 
 namespace dh::thermal {
@@ -29,6 +29,19 @@ struct ThermalGridParams {
   /// Heat capacity per tile, J/K.
   double tile_heat_capacity_j_per_k = 8e-4;
   Celsius ambient{45.0};
+  /// Engine tuning (direct-vs-CG threshold, CG tolerances).
+  math::sparse::SpdSolverOptions solver;
+};
+
+/// Counters for the cached thermal solvers (mirrors PdnSolveStats).
+struct ThermalSolveStats {
+  std::size_t steady_solves = 0;
+  std::size_t transient_steps = 0;
+  /// Factorizations built: one per build_conductance for the steady
+  /// solver plus one per distinct dt admitted to the transient cache.
+  std::size_t factorizations = 0;
+  /// Transient steps served by a dt-keyed cached factorization.
+  std::size_t transient_cache_hits = 0;
 };
 
 class ThermalGrid {
@@ -46,7 +59,11 @@ class ThermalGrid {
   /// Steady-state temperatures for the current power map.
   void solve_steady();
 
-  /// Transient step (backward Euler) with the current power map.
+  /// Transient step (backward Euler) with the current power map. The
+  /// (G + C/dt) factorization is cached *per dt value* (small MRU set),
+  /// so workloads alternating between a handful of step sizes — fig12's
+  /// scheduling quanta vs recovery quanta — refactorize only on first
+  /// sight of each dt instead of on every change.
   void step(Seconds dt);
 
   [[nodiscard]] Celsius temperature(std::size_t tile) const;
@@ -54,16 +71,29 @@ class ThermalGrid {
   [[nodiscard]] Celsius mean_temperature() const;
   [[nodiscard]] const ThermalGridParams& params() const { return params_; }
 
+  /// Counters for the cached solvers (how often they refactorized).
+  [[nodiscard]] const ThermalSolveStats& solve_stats() const {
+    return stats_;
+  }
+  /// Engine the steady solver runs on (kDenseLu = breakdown fallback).
+  [[nodiscard]] math::sparse::SpdMethod solver_method() const;
+
  private:
+  /// Most distinct dt factorizations kept; LRU beyond that.
+  static constexpr std::size_t kMaxTransientFactors = 8;
+
   void build_conductance();
+  [[nodiscard]] const math::sparse::SpdSolver& transient_solver(double dt);
 
   ThermalGridParams params_;
-  math::Matrix g_;                       // conductance Laplacian + vertical
-  std::unique_ptr<math::LuFactorization> steady_lu_;
-  std::unique_ptr<math::LuFactorization> transient_lu_;
-  double transient_dt_ = -1.0;
+  math::sparse::CsrMatrix g_;  // conductance Laplacian + vertical
+  std::unique_ptr<math::sparse::SpdSolver> steady_;
+  /// MRU-ordered (dt, factorization of G + C/dt) cache.
+  std::vector<std::pair<double, std::unique_ptr<math::sparse::SpdSolver>>>
+      transient_;
   std::vector<double> power_;
   std::vector<double> temp_rise_;  // above ambient
+  ThermalSolveStats stats_;
 };
 
 }  // namespace dh::thermal
