@@ -10,11 +10,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -143,7 +145,7 @@ void write_obs_json() {
       base > 0.0 ? 100.0 * (trimmed_min(step_ms[2]) / base - 1.0) : 0.0;
 
   const std::string path = obs::json_output_path("BENCH_obs.json");
-  std::ofstream json(path);
+  std::ostringstream json;
   json << "{\n";
   json << "  \"workload\": \"fig12_system_schedule periodic-active 2y\",\n";
   json << "  \"block_quanta\": " << kBlock << ",\n";
@@ -158,6 +160,7 @@ void write_obs_json() {
        << ((q0 == q1 && q1 == q2) ? "true" : "false") << ",\n";
   json << "  \"trace_file\": \"" << trace_path << "\"\n";
   json << "}\n";
+  obs::write_file_atomic(path, json.str());
   std::printf(
       "\n%s written: baseline %.1f ms, metrics %.1f ms (%+.2f%%), "
       "traced %.1f ms (%+.2f%%); recovery_quanta=%zu "
@@ -166,11 +169,62 @@ void write_obs_json() {
       traced_pct, q1, trace_path.c_str());
 }
 
-}  // namespace
-
-int main() {
+/// Crash-recovery demo mode (exercised by tools/crash_recovery_smoke.sh):
+/// run the fig12 chip for 120 days with env-driven checkpointing into
+/// `dir`, printing a bit-exact digest line at the end. With
+/// `kill_after_steps > 0` the process instead runs that many quanta and
+/// then SIGKILLs itself — no atexit, no flushes, the honest crash — so a
+/// subsequent invocation without the kill must resume from the surviving
+/// checkpoint and print the same digest as an uninterrupted run.
+int run_ckpt_demo(const std::string& dir, long kill_after_steps) {
   using namespace dh;
   using namespace dh::sched;
+  setenv("DH_CKPT_DIR", dir.c_str(), 1);
+  setenv("DH_CKPT_EVERY", "8", 1);
+  const SystemParams p = hot_chip();
+  SystemSimulator sim{p, make_periodic_active_policy(
+                             {.period = hours(24.0),
+                              .bti_recovery_fraction = 0.25,
+                              .em_recovery_duty = 0.2})};
+  if (kill_after_steps > 0) {
+    sim.run(Seconds{p.quantum.value() *
+                    static_cast<double>(kill_after_steps)});
+    std::raise(SIGKILL);  // never returns
+  }
+  sim.run(days(120.0));
+  const SystemSummary s = sim.summary();
+  // %.17g round-trips doubles exactly: equal lines mean bit-equal state.
+  std::printf("CKPT_DEMO_DIGEST guardband=%.17g energy=%.17g "
+              "availability=%.17g recovery_quanta=%zu steps=%.17g\n",
+              s.guardband_fraction, s.energy_joules, s.availability,
+              s.recovery_quanta, sim.now().value());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dh;
+  using namespace dh::sched;
+
+  std::string ckpt_demo_dir;
+  long kill_after_steps = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ckpt-demo") == 0 && i + 1 < argc) {
+      ckpt_demo_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--kill-after-steps") == 0 &&
+               i + 1 < argc) {
+      kill_after_steps = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--ckpt-demo DIR [--kill-after-steps N]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!ckpt_demo_dir.empty()) {
+    return run_ckpt_demo(ckpt_demo_dir, kill_after_steps);
+  }
 
   std::printf("== Fig. 12: system-level scheduled recovery, 4x4 cores, "
               "2 years ==\n\n");

@@ -14,8 +14,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <functional>
+#include <sstream>
 #include <vector>
 
 #include "circuit/assist.hpp"
@@ -282,7 +282,7 @@ void write_parallel_json() {
   });
   const auto& st = grid.solve_stats();
 
-  std::ofstream json(obs::json_output_path("BENCH_parallel.json"));
+  std::ostringstream json;
   json << "{\n";
   json << "  \"threads\": " << threads << ",\n";
   json << "  \"em_population\": {\"wires\": " << kWires
@@ -306,6 +306,8 @@ void write_parallel_json() {
        << ", \"refinement_iterations\": " << st.refinement_iterations
        << "}\n";
   json << "}\n";
+  obs::write_file_atomic(obs::json_output_path("BENCH_parallel.json"),
+                         json.str());
   std::printf(
       "BENCH_parallel.json written: %zu thread(s); em %.0f/%.0f ms, "
       "sram %.0f/%.0f ms, pdn %.0f/%.0f ms (%zu factorizations in %d "
@@ -387,7 +389,7 @@ void write_obs_kernels_json() {
           ? 0.0
           : 100.0 * (sim_ratio[sim_ratio.size() / 2] - 1.0);
 
-  std::ofstream json(obs::json_output_path("BENCH_obs_kernels.json"));
+  std::ostringstream json;
   json << "{\n";
   json << "  \"record_ns_per_op\": {\"counter_on\": " << counter_on_ns
        << ", \"counter_off\": " << counter_off_ns
@@ -398,6 +400,8 @@ void write_obs_kernels_json() {
        << ", \"metrics_ms\": " << sim_metrics_ms
        << ", \"overhead_pct\": " << sim_overhead_pct << "}\n";
   json << "}\n";
+  obs::write_file_atomic(obs::json_output_path("BENCH_obs_kernels.json"),
+                         json.str());
   std::printf(
       "BENCH_obs_kernels.json written: counter %.1f/%.1f ns on/off, "
       "histogram %.1f/%.1f ns on/off, sim overhead %+.2f%%\n",
@@ -471,7 +475,7 @@ void write_sparse_json() {
     rows.push_back(row);
   }
 
-  std::ofstream json(obs::json_output_path("BENCH_sparse.json"));
+  std::ostringstream json;
   json << "{\n  \"pdn_solve_scaling\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
@@ -485,6 +489,8 @@ void write_sparse_json() {
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
+  obs::write_file_atomic(obs::json_output_path("BENCH_sparse.json"),
+                         json.str());
   for (const Row& row : rows) {
     std::printf(
         "BENCH_sparse %2zux%-2zu (%4zu nodes, %-15s): dense %9.3f ms, "

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault/fault.hpp"
 #include "common/math/sparse/direct.hpp"
 #include "common/math/sparse/ic0.hpp"
 #include "common/obs/metrics.hpp"
@@ -63,6 +64,10 @@ SpdSolver::SpdSolver(CsrMatrix a, SpdSolverOptions opts)
   }
   method_ = planned_method(a_.rows(), a_.bandwidth(), opts_);
   try {
+    if (fault::armed() && fault::should_inject("solver.factor_breakdown")) {
+      throw Error{"injected fault at solver.factor_breakdown: simulated "
+                  "sparse factorization breakdown"};
+    }
     switch (method_) {
       case SpdMethod::kTridiagonal:
         factor_ = std::make_unique<TridiagonalCholesky>(a_);
@@ -107,6 +112,19 @@ std::vector<double> SpdSolver::solve(std::span<const double> b,
   };
   std::vector<double> x;
   bool solved = false;
+  if (method_ == SpdMethod::kIc0Cg && !cg_rescue_ && fault::armed() &&
+      fault::should_inject("solver.cg_stagnate")) {
+    // Injected stagnation: skip the CG attempt entirely and escalate to
+    // the rescue factorization, exactly as a real stall would.
+    try {
+      cg_rescue_ = std::make_unique<BandedCholesky>(a_);
+    } catch (const Error&) {
+      throw ConvergenceError{
+          "injected fault at solver.cg_stagnate and the direct rescue "
+          "factorization broke down — system is singular or severely "
+          "ill-conditioned"};
+    }
+  }
   if (method_ == SpdMethod::kIc0Cg && !cg_rescue_) {
     const CgResult res = pcg_solve(
         [this](std::span<const double> v, std::vector<double>& y) {
@@ -189,6 +207,11 @@ std::vector<double> SpdSolver::solve(std::span<const double> b,
   return x;
 }
 
+void SpdSolver::build_cg_rescue() const {
+  if (cg_rescue_ || method_ != SpdMethod::kIc0Cg) return;
+  cg_rescue_ = std::make_unique<BandedCholesky>(a_);
+}
+
 bool SpdSolver::solve_drifted(const LinearOp& true_op,
                               std::span<const double> b,
                               std::vector<double>& x,
@@ -197,6 +220,13 @@ bool SpdSolver::solve_drifted(const LinearOp& true_op,
   SpdSolveInfo local;
   local.method = method_;
   x.clear();
+  if (fault::armed() && fault::should_inject("solver.cg_stagnate")) {
+    // Injected stagnation of the stale-factor refinement: report failure
+    // so the caller takes its refactorize fallback.
+    record(local);
+    if (info != nullptr) *info = local;
+    return false;
+  }
   const Preconditioner& pre =
       cg_rescue_ ? static_cast<const Preconditioner&>(*cg_rescue_)
                  : *factor_;

@@ -96,6 +96,16 @@ class SpdSolver {
       std::size_t n, std::size_t bandwidth,
       const SpdSolverOptions& opts = {});
 
+  /// Whether the lazy CG rescue factorization has been built. Part of the
+  /// checkpoint contract: a restored solver must take the same solve path
+  /// (rescued direct vs IC(0)-CG) as the original, or results drift at
+  /// the rounding level.
+  [[nodiscard]] bool cg_rescue_built() const { return cg_rescue_ != nullptr; }
+
+  /// Force-build the rescue factorization (checkpoint restore). No-op on
+  /// non-CG engines or when already built.
+  void build_cg_rescue() const;
+
  private:
   void record(const SpdSolveInfo& info) const;
 

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
+#include "common/fault/fault.hpp"
 
 namespace dh::obs {
 
@@ -19,6 +21,36 @@ std::string json_output_path(const std::string& filename) {
                 "' cannot be created: " + ec.message());
   }
   return (base / filename).string();
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  if (fault::armed() && fault::should_inject("io.bench_write")) {
+    throw Error("injected I/O failure (EIO) writing '" + path + "'");
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw Error("cannot open '" + tmp + "' for writing");
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw Error("write to '" + tmp +
+                  "' failed (disk full or I/O error)");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ec2;
+    std::filesystem::remove(tmp, ec2);
+    throw Error("atomic rename of '" + tmp + "' over '" + path +
+                "' failed: " + ec.message());
+  }
 }
 
 }  // namespace dh::obs

@@ -8,8 +8,25 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/fault/fault.hpp"
+#include "common/obs/metrics.hpp"
 
 namespace dh::obs {
+
+namespace {
+
+/// Count one dropped trace record. Never throws: the drop counter is the
+/// channel of last resort, used from destructors and flush paths where an
+/// exception would terminate the process.
+void count_trace_drop() noexcept {
+  try {
+    registry().counter("trace.drop").add();
+  } catch (...) {
+    // Losing the drop count is acceptable; losing the process is not.
+  }
+}
+
+}  // namespace
 
 struct JsonlTraceSink::Impl {
   std::ofstream out;
@@ -26,8 +43,17 @@ JsonlTraceSink::JsonlTraceSink(const std::string& path)
 
 JsonlTraceSink::~JsonlTraceSink() {
   // Flush-on-destruction: the trace tail must survive normal process exit
-  // even if nobody called flush_trace().
-  if (impl_ && impl_->out.is_open()) impl_->out.flush();
+  // even if nobody called flush_trace(). A failed final flush must NOT
+  // propagate from a destructor — it is recorded as a dropped record
+  // (`trace.drop`) instead.
+  try {
+    if (impl_ && impl_->out.is_open()) {
+      impl_->out.flush();
+      if (!impl_->out) count_trace_drop();
+    }
+  } catch (...) {
+    count_trace_drop();
+  }
 }
 
 namespace {
@@ -41,6 +67,13 @@ void append_number(std::string& line, double v) {
 }  // namespace
 
 void JsonlTraceSink::write(const TraceEvent& event) {
+  // _untraced: this runs under the trace dispatcher lock; emitting the
+  // usual fault/inject trace event from here would re-enter and deadlock.
+  if (fault::armed() && fault::should_inject_untraced("io.trace_write")) {
+    count_trace_drop();
+    throw Error("trace sink: injected I/O failure (EIO) writing '" +
+                path_ + "'");
+  }
   std::string line;
   line.reserve(96 + 24 * event.field_count);
   line += "{\"cat\":\"";
@@ -67,13 +100,17 @@ void JsonlTraceSink::write(const TraceEvent& event) {
   line += "}\n";
   impl_->out << line;
   if (!impl_->out) {
+    count_trace_drop();
     throw Error("trace sink: write to '" + path_ +
                 "' failed (disk full or file closed)");
   }
 }
 
 void JsonlTraceSink::flush() {
-  if (impl_->out.is_open()) impl_->out.flush();
+  if (impl_->out.is_open()) {
+    impl_->out.flush();
+    if (!impl_->out) count_trace_drop();
+  }
 }
 
 namespace {

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 
 namespace dh {
@@ -162,6 +163,24 @@ void print_series_table(std::ostream& os,
     os << '\n';
   }
   os.unsetf(std::ios::fixed);
+}
+
+void TimeSeries::save_state(ckpt::Serializer& s) const {
+  s.begin_section("TSER");
+  s.write_string(name_);
+  s.write_string(unit_);
+  s.write_f64_vec(times_);
+  s.write_f64_vec(values_);
+}
+
+void TimeSeries::load_state(ckpt::Deserializer& d) {
+  d.expect_section("TSER");
+  name_ = d.read_string();
+  unit_ = d.read_string();
+  times_ = d.read_f64_vec();
+  values_ = d.read_f64_vec();
+  DH_REQUIRE(times_.size() == values_.size(),
+             "time series snapshot has mismatched time/value lengths");
 }
 
 }  // namespace dh

@@ -12,6 +12,11 @@
 
 namespace dh {
 
+namespace ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace ckpt
+
 class TimeSeries {
  public:
   TimeSeries() = default;
@@ -56,6 +61,10 @@ class TimeSeries {
   [[nodiscard]] const std::vector<double>& raw_values() const {
     return values_;
   }
+
+  /// Checkpoint support: bit-exact snapshot of name, unit, and samples.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   std::string name_;

@@ -1,10 +1,27 @@
 #include "core/recovery_controller.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 
 namespace dh::core {
+
+namespace {
+
+/// Push every multiple-of-`period` offset boundary `k*period + offset`
+/// falling strictly inside (a, b).
+void push_periodic_boundaries(double a, double b, double period,
+                              double offset, std::vector<double>& out) {
+  if (period <= 0.0) return;
+  double k = std::floor((a - offset) / period);
+  for (double t = k * period + offset; t < b; t += period) {
+    if (t > a) out.push_back(t);
+  }
+}
+
+}  // namespace
 
 double RecoveryAccounting::overhead_fraction(Seconds switch_cost) const {
   const double total =
@@ -27,28 +44,103 @@ RecoveryController::RecoveryController(RecoveryControllerParams params)
              "BTI recovery fraction must be in [0,1)");
 }
 
-circuit::AssistMode RecoveryController::decide(Seconds now, bool load_idle) {
+circuit::AssistMode RecoveryController::decide(Seconds now,
+                                               bool load_idle) const {
+  const double t = now.value();
   // Scheduled BTI window: the trailing fraction of every period.
   if (params_.bti.period.value() > 0.0 &&
       params_.bti.recovery_fraction > 0.0) {
-    const double frac = std::fmod(now.value(), params_.bti.period.value()) /
+    const double frac = std::fmod(t, params_.bti.period.value()) /
                         params_.bti.period.value();
     if (frac >= 1.0 - params_.bti.recovery_fraction) {
       return circuit::AssistMode::kBtiActiveRecovery;
+    }
+  }
+  // Scheduled EM reverse window. This outranks opportunistic idle-time
+  // BTI healing: the planner sized the reverse duty to keep the line
+  // below critical stress, and an idle-heavy workload must not starve it.
+  const double cycle = params_.em.forward_interval.value() +
+                       params_.em.reverse_interval.value();
+  if (cycle > 0.0 && params_.em.reverse_interval.value() > 0.0) {
+    const double pos = std::fmod(t, cycle);
+    if (pos >= params_.em.forward_interval.value()) {
+      return circuit::AssistMode::kEmActiveRecovery;
     }
   }
   // Opportunistic BTI recovery during intrinsic idle time.
   if (load_idle) {
     return circuit::AssistMode::kBtiActiveRecovery;
   }
-  // EM recovery duty during operation (system stays up in EM mode).
+  return circuit::AssistMode::kNormal;
+}
+
+std::vector<ModeSlice> RecoveryController::decide_slices(
+    Seconds now, Seconds dt, bool load_idle) const {
+  DH_REQUIRE(dt.value() >= 0.0, "quantum must be non-negative");
+  const double a = now.value();
+  const double b = a + dt.value();
+  std::vector<double> cuts;
+  cuts.push_back(a);
+  // BTI window boundaries: window starts at period*(1-fraction), ends at
+  // the period wrap.
+  if (params_.bti.period.value() > 0.0 &&
+      params_.bti.recovery_fraction > 0.0) {
+    const double p = params_.bti.period.value();
+    push_periodic_boundaries(a, b, p,
+                             p * (1.0 - params_.bti.recovery_fraction), cuts);
+    push_periodic_boundaries(a, b, p, 0.0, cuts);
+  }
+  // EM reverse-window boundaries: reverse starts after forward_interval,
+  // ends at the cycle wrap.
   const double cycle = params_.em.forward_interval.value() +
                        params_.em.reverse_interval.value();
   if (cycle > 0.0 && params_.em.reverse_interval.value() > 0.0) {
-    const double pos = std::fmod(now.value(), cycle);
-    if (pos >= params_.em.forward_interval.value()) {
-      return circuit::AssistMode::kEmActiveRecovery;
+    push_periodic_boundaries(a, b, cycle,
+                             params_.em.forward_interval.value(), cuts);
+    push_periodic_boundaries(a, b, cycle, 0.0, cuts);
+  }
+  cuts.push_back(b);
+  std::sort(cuts.begin(), cuts.end());
+
+  std::vector<ModeSlice> slices;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double len = cuts[i + 1] - cuts[i];
+    if (len <= 1e-9) continue;  // degenerate cut (coincident boundaries)
+    // Classify at the midpoint: every cut point is a mode boundary, so
+    // the midpoint is safely interior and free of fmod rounding at the
+    // boundary itself.
+    const circuit::AssistMode mode =
+        decide(Seconds{0.5 * (cuts[i] + cuts[i + 1])}, load_idle);
+    if (!slices.empty() && slices.back().mode == mode) {
+      slices.back().duration += Seconds{len};
+    } else {
+      slices.push_back({mode, Seconds{len}});
     }
+  }
+  if (slices.empty()) slices.push_back({decide(now, load_idle), dt});
+  return slices;
+}
+
+circuit::AssistMode RecoveryController::decide(Seconds now, Seconds dt,
+                                               bool load_idle) const {
+  if (dt.value() <= 0.0) return decide(now, load_idle);
+  double per_mode[3] = {0.0, 0.0, 0.0};
+  for (const ModeSlice& s : decide_slices(now, dt, load_idle)) {
+    per_mode[static_cast<std::size_t>(s.mode)] += s.duration.value();
+  }
+  // Dominant overlap; ties resolve by the point rule's precedence (BTI,
+  // then EM, then Normal).
+  const double bti =
+      per_mode[static_cast<std::size_t>(circuit::AssistMode::kBtiActiveRecovery)];
+  const double em =
+      per_mode[static_cast<std::size_t>(circuit::AssistMode::kEmActiveRecovery)];
+  const double normal =
+      per_mode[static_cast<std::size_t>(circuit::AssistMode::kNormal)];
+  if (bti >= em && bti >= normal && bti > 0.0) {
+    return circuit::AssistMode::kBtiActiveRecovery;
+  }
+  if (em >= normal && em > 0.0) {
+    return circuit::AssistMode::kEmActiveRecovery;
   }
   return circuit::AssistMode::kNormal;
 }
@@ -71,6 +163,29 @@ void RecoveryController::commit(circuit::AssistMode mode, Seconds dt) {
       accounting_.bti_recovery += dt;
       break;
   }
+}
+
+void RecoveryController::save_state(ckpt::Serializer& s) const {
+  s.begin_section("RCTL");
+  s.write_f64(accounting_.normal.value());
+  s.write_f64(accounting_.em_recovery.value());
+  s.write_f64(accounting_.bti_recovery.value());
+  s.write_u64(accounting_.mode_switches);
+  s.write_u8(static_cast<std::uint8_t>(last_mode_));
+  s.write_bool(have_last_);
+}
+
+void RecoveryController::load_state(ckpt::Deserializer& d) {
+  d.expect_section("RCTL");
+  accounting_.normal = Seconds{d.read_f64()};
+  accounting_.em_recovery = Seconds{d.read_f64()};
+  accounting_.bti_recovery = Seconds{d.read_f64()};
+  accounting_.mode_switches = static_cast<std::size_t>(d.read_u64());
+  const std::uint8_t mode = d.read_u8();
+  DH_REQUIRE(mode <= 2,
+             "recovery controller snapshot holds an unknown assist mode");
+  last_mode_ = static_cast<circuit::AssistMode>(mode);
+  have_last_ = d.read_bool();
 }
 
 }  // namespace dh::core

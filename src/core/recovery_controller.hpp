@@ -5,10 +5,16 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "circuit/assist.hpp"
 #include "common/units.hpp"
 #include "core/rejuvenation_planner.hpp"
+
+namespace dh::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace dh::ckpt
 
 namespace dh::core {
 
@@ -31,15 +37,39 @@ struct RecoveryAccounting {
   [[nodiscard]] double uptime_fraction() const;
 };
 
+/// One homogeneous sub-interval of a quantum (see decide_slices).
+struct ModeSlice {
+  circuit::AssistMode mode = circuit::AssistMode::kNormal;
+  Seconds duration{0.0};
+};
+
 class RecoveryController {
  public:
   explicit RecoveryController(RecoveryControllerParams params);
 
-  /// Mode for the quantum starting at `now`. `load_idle` reports whether
-  /// the workload has an intrinsic OFF opportunity; BTI recovery windows
-  /// are honored regardless (the paper's scheduled recovery), but idle
-  /// time is used opportunistically for extra BTI healing.
-  [[nodiscard]] circuit::AssistMode decide(Seconds now, bool load_idle);
+  /// Mode at the instant `now`. `load_idle` reports whether the workload
+  /// has an intrinsic OFF opportunity. Precedence: scheduled BTI window,
+  /// then scheduled EM reverse window, then opportunistic idle-time BTI
+  /// healing, then Normal — the planned EM duty cycle must not be starved
+  /// by opportunistic healing, or the line never sees its reverse current
+  /// on idle-heavy workloads.
+  [[nodiscard]] circuit::AssistMode decide(Seconds now, bool load_idle) const;
+
+  /// Mode for the whole quantum [now, now+dt), classified by *dominant
+  /// overlap*: the quantum is split at every schedule boundary it
+  /// straddles and the mode covering the most time wins (ties resolve by
+  /// the precedence above). Classifying by the quantum's start time
+  /// biases duty accounting for coarse quanta — a quantum entering a
+  /// recovery window near its end would be wholly attributed to Normal.
+  [[nodiscard]] circuit::AssistMode decide(Seconds now, Seconds dt,
+                                           bool load_idle) const;
+
+  /// Exact decomposition of [now, now+dt) at schedule boundaries:
+  /// consecutive slices with distinct modes whose durations sum to dt.
+  /// Committing each slice reproduces a schedule's analytic duty exactly
+  /// (e.g. a 1h:1h EM cycle accounts 50/50 for any quantum size).
+  [[nodiscard]] std::vector<ModeSlice> decide_slices(Seconds now, Seconds dt,
+                                                     bool load_idle) const;
 
   /// Advance accounting by one quantum in the mode returned by decide().
   void commit(circuit::AssistMode mode, Seconds dt);
@@ -50,6 +80,10 @@ class RecoveryController {
   [[nodiscard]] const RecoveryControllerParams& params() const {
     return params_;
   }
+
+  /// Checkpoint support: accounting and the mode-switch edge detector.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   RecoveryControllerParams params_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/arrhenius.hpp"
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 
 namespace dh::device {
@@ -94,6 +95,22 @@ BtiBreakdown CompactBti::breakdown() const {
       .unlocked = Volts{pu_},
       .locked = Volts{pl_},
   };
+}
+
+void CompactBti::save_state(ckpt::Serializer& s) const {
+  s.begin_section("CBTI");
+  s.write_f64(fast_);
+  s.write_f64(slow_);
+  s.write_f64(pu_);
+  s.write_f64(pl_);
+}
+
+void CompactBti::load_state(ckpt::Deserializer& d) {
+  d.expect_section("CBTI");
+  fast_ = d.read_f64();
+  slow_ = d.read_f64();
+  pu_ = d.read_f64();
+  pl_ = d.read_f64();
 }
 
 }  // namespace dh::device

@@ -12,6 +12,11 @@
 
 #include "device/bti_types.hpp"
 
+namespace dh::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace dh::ckpt
+
 namespace dh::device {
 
 struct CompactBtiParams {
@@ -53,6 +58,11 @@ class CompactBti {
   [[nodiscard]] BtiBreakdown breakdown() const;
 
   [[nodiscard]] const CompactBtiParams& params() const { return params_; }
+
+  /// Checkpoint support: bit-exact snapshot of the pool states (params
+  /// are construction inputs and not serialized).
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   CompactBtiParams params_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 
 namespace dh::em {
@@ -117,6 +118,26 @@ Ohms CompactEm::resistance(Celsius t) const {
   if (broken_) return Ohms{1e9};
   return params_.wire.resistance_with_void(
       to_kelvin(t), Meters{void_mobile_m_ + void_fixed_m_});
+}
+
+void CompactEm::save_state(ckpt::Serializer& s) const {
+  s.begin_section("CPEM");
+  for (const double p : pools_) s.write_f64(p);
+  s.write_bool(void_open_);
+  s.write_i64(void_polarity_);
+  s.write_f64(void_mobile_m_);
+  s.write_f64(void_fixed_m_);
+  s.write_bool(broken_);
+}
+
+void CompactEm::load_state(ckpt::Deserializer& d) {
+  d.expect_section("CPEM");
+  for (double& p : pools_) p = d.read_f64();
+  void_open_ = d.read_bool();
+  void_polarity_ = static_cast<int>(d.read_i64());
+  void_mobile_m_ = d.read_f64();
+  void_fixed_m_ = d.read_f64();
+  broken_ = d.read_bool();
 }
 
 }  // namespace dh::em

@@ -16,6 +16,11 @@
 #include "em/material.hpp"
 #include "em/wire.hpp"
 
+namespace dh::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace dh::ckpt
+
 namespace dh::em {
 
 struct CompactEmParams {
@@ -57,6 +62,11 @@ class CompactEm {
       Celsius t);
 
   [[nodiscard]] const CompactEmParams& params() const { return params_; }
+
+  /// Checkpoint support: bit-exact snapshot of the pool and void states
+  /// (taus/gains are derived from params at construction).
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   CompactEmParams params_;

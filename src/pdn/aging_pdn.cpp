@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 #include "common/obs/metrics.hpp"
 
@@ -89,6 +90,41 @@ bool AgingPdn::failed(double drop_limit_fraction) const {
   if (st.broken_segments > 0) return true;
   return last_.worst_drop_v >
          drop_limit_fraction * grid_.params().vdd.value();
+}
+
+void AgingPdn::save_state(ckpt::Serializer& s) const {
+  s.begin_section("APDN");
+  s.write_u64(segment_em_.size());
+  for (const auto& em : segment_em_) em.save_state(s);
+  s.write_f64_vec(segment_r_);
+  s.write_bool_vec(immortal_);
+  s.write_f64_vec(last_.node_voltage);
+  s.write_f64_vec(last_.segment_current);
+  s.write_f64(last_.worst_drop_v);
+  s.write_u64(last_.worst_node);
+  s.write_f64(last_temp_.value());
+  s.write_f64(elapsed_s_);
+  grid_.save_cache(s);
+}
+
+void AgingPdn::load_state(ckpt::Deserializer& d) {
+  d.expect_section("APDN");
+  const std::uint64_t count = d.read_u64();
+  DH_REQUIRE(count == segment_em_.size(),
+             "PDN snapshot segment count does not match this grid");
+  for (auto& em : segment_em_) em.load_state(d);
+  segment_r_ = d.read_f64_vec();
+  immortal_ = d.read_bool_vec();
+  DH_REQUIRE(segment_r_.size() == segment_em_.size() &&
+                 immortal_.size() == segment_em_.size(),
+             "PDN snapshot per-segment vectors do not match this grid");
+  last_.node_voltage = d.read_f64_vec();
+  last_.segment_current = d.read_f64_vec();
+  last_.worst_drop_v = d.read_f64();
+  last_.worst_node = static_cast<std::size_t>(d.read_u64());
+  last_temp_ = Celsius{d.read_f64()};
+  elapsed_s_ = d.read_f64();
+  grid_.load_cache(d);
 }
 
 }  // namespace dh::pdn

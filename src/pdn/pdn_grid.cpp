@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 #include "common/obs/metrics.hpp"
 #include "common/obs/profile.hpp"
@@ -266,6 +267,39 @@ PdnSolution PdnGrid::solve_uncached(
 
 AmpsPerM2 PdnGrid::current_density(double current_a) const {
   return AmpsPerM2{current_a / params_.segment_wire.cross_section_m2()};
+}
+
+void PdnGrid::save_cache(ckpt::Serializer& s) const {
+  s.begin_section("PDNC");
+  s.write_bool(solver_ != nullptr);
+  if (solver_ != nullptr) {
+    s.write_f64_vec(solver_segment_r_);
+    s.write_bool(solver_->cg_rescue_built());
+  }
+  s.write_u64(solve_stats_.solves);
+  s.write_u64(solve_stats_.factorizations);
+  s.write_u64(solve_stats_.refinement_iterations);
+  s.write_u64(solve_stats_.cg_iterations);
+}
+
+void PdnGrid::load_cache(ckpt::Deserializer& d) {
+  d.expect_section("PDNC");
+  if (d.read_bool()) {
+    const std::vector<double> r = d.read_f64_vec();
+    DH_REQUIRE(r.size() == segments_.size(),
+               "PDN snapshot cached-factor resistances do not match this "
+               "grid's segment count");
+    refactorize(r);
+    if (d.read_bool()) solver_->build_cg_rescue();
+  } else {
+    solver_.reset();
+    solver_segment_r_.clear();
+  }
+  solve_stats_.solves = static_cast<std::size_t>(d.read_u64());
+  solve_stats_.factorizations = static_cast<std::size_t>(d.read_u64());
+  solve_stats_.refinement_iterations =
+      static_cast<std::size_t>(d.read_u64());
+  solve_stats_.cg_iterations = static_cast<std::size_t>(d.read_u64());
 }
 
 }  // namespace dh::pdn

@@ -17,6 +17,11 @@
 #include "common/units.hpp"
 #include "em/wire.hpp"
 
+namespace dh::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace dh::ckpt
+
 namespace dh::pdn {
 
 struct PdnParams {
@@ -124,6 +129,16 @@ class PdnGrid {
 
   /// Current density in a segment carrying `current`.
   [[nodiscard]] AmpsPerM2 current_density(double current_a) const;
+
+  /// Checkpoint support for the cached-factor state. The solve path a
+  /// call takes (fresh factorization vs stale-factor drift CG) depends on
+  /// which resistances the cached factor was built from, and the two
+  /// paths agree only to ~1e-12 — so bit-identical resume requires
+  /// rebuilding the factor from the *saved* resistances, not the current
+  /// ones. load_cache does that, then restores the solve counters so
+  /// summaries match an uninterrupted run.
+  void save_cache(ckpt::Serializer& s) const;
+  void load_cache(ckpt::Deserializer& d);
 
   [[nodiscard]] const PdnParams& params() const { return params_; }
   [[nodiscard]] const std::vector<std::size_t>& pads() const { return pads_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 
 namespace dh::sched {
@@ -85,6 +86,16 @@ Amps Core::supply_current(CoreAction action, double utilization,
                           Celsius temperature) const {
   return Amps{power(action, utilization, temperature).value() /
               params_.vdd.value()};
+}
+
+void Core::save_state(ckpt::Serializer& s) const {
+  s.begin_section("CORE");
+  bti_.save_state(s);
+}
+
+void Core::load_state(ckpt::Deserializer& d) {
+  d.expect_section("CORE");
+  bti_.load_state(d);
 }
 
 }  // namespace dh::sched

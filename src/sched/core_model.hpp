@@ -62,6 +62,11 @@ class Core {
 
   [[nodiscard]] const CoreParams& params() const { return params_; }
 
+  /// Checkpoint support: the BTI state is the core's only mutable state
+  /// (the ring oscillator is a pure function of params).
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
+
  private:
   CoreParams params_;
   device::CompactBti bti_;

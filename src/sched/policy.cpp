@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/ckpt/serialize.hpp"
+
 namespace dh::sched {
 
 namespace {
@@ -96,6 +98,15 @@ class AdaptiveSensorPolicy final : public RecoveryPolicy {
     const double cycle = std::fmod(now.value() / dt.value(), 10.0);
     d.em_recovery_mode = cycle < 10.0 * p_.em_recovery_duty;
     return d;
+  }
+
+  void save_state(ckpt::Serializer& s) const override {
+    s.begin_section("APOL");
+    s.write_bool_vec(in_recovery_);
+  }
+  void load_state(ckpt::Deserializer& d) override {
+    d.expect_section("APOL");
+    in_recovery_ = d.read_bool_vec();
   }
 
  private:

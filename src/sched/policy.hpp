@@ -16,6 +16,11 @@
 #include "common/units.hpp"
 #include "sched/core_model.hpp"
 
+namespace dh::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace dh::ckpt
+
 namespace dh::sched {
 
 /// What the policy can see (sensor readings, not ground truth).
@@ -37,6 +42,12 @@ class RecoveryPolicy {
   [[nodiscard]] virtual PolicyDecision decide(
       std::span<const CoreObservation> cores, Seconds now, Seconds dt,
       Rng& rng) = 0;
+
+  /// Checkpoint support: serialize/restore internal decision state (e.g.
+  /// hysteresis latches). Stateless policies keep the no-op defaults —
+  /// symmetric, so round trips stay aligned either way.
+  virtual void save_state(ckpt::Serializer&) const {}
+  virtual void load_state(ckpt::Deserializer&) {}
 };
 
 /// Baseline: never recovers; every core always runs its demand.

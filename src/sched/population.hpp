@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sched/system_sim.hpp"
@@ -44,6 +45,28 @@ struct PopulationAggregates {
 [[nodiscard]] std::vector<SystemSummary> run_population(
     const SystemParams& base, std::size_t count, Seconds lifetime,
     const PolicyFactory& make_policy);
+
+/// Resumable variant: each member's summary is persisted to
+/// `<resume_dir>/member_<i>.dhck` (atomic snapshot, kind
+/// "population_member") the moment it completes, and members whose
+/// snapshot already exists — and matches this sweep's index, seed, and
+/// lifetime — are loaded instead of re-simulated. A killed sweep re-run
+/// with the same arguments therefore only pays for the members it had
+/// not finished. A manifest (`<resume_dir>/manifest.dhck`) pins (count,
+/// lifetime, base seed); rerunning with different arguments against the
+/// same directory throws dh::Error rather than silently mixing sweeps.
+/// Results are bit-identical to the non-resumable overload at any thread
+/// count. Completed members count into the `population.resumed` counter;
+/// freshly simulated ones into `population.computed`.
+[[nodiscard]] std::vector<SystemSummary> run_population(
+    const SystemParams& base, std::size_t count, Seconds lifetime,
+    const PolicyFactory& make_policy, const std::string& resume_dir);
+
+/// Completion bitmap of a sweep directory: bit i is set when member i has
+/// a valid (readable, CRC-clean) summary snapshot in `dir`. Corrupt or
+/// truncated member files simply read as "not done yet".
+[[nodiscard]] std::vector<bool> population_completion(const std::string& dir,
+                                                      std::size_t count);
 
 /// Population statistics over per-member summaries.
 [[nodiscard]] PopulationAggregates aggregate_population(

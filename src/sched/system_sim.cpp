@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <system_error>
 
+#include "common/ckpt/serialize.hpp"
+#include "common/ckpt/snapshot.hpp"
 #include "common/error.hpp"
+#include "common/fault/fault.hpp"
 #include "common/obs/metrics.hpp"
 #include "common/obs/profile.hpp"
 #include "common/obs/trace.hpp"
@@ -50,6 +58,12 @@ pdn::PdnParams match_pdn(pdn::PdnParams p, std::size_t rows,
   return p;
 }
 
+/// A sensor reading beyond this magnitude is physically impossible (Vth
+/// shifts top out at tens of mV) and is rejected in favour of the last
+/// good value. Far above noise + worst-case shift, so fault-free runs
+/// never trip it and stay bit-identical to pre-degradation builds.
+constexpr double kSensorSaneLimitV = 0.5;
+
 }  // namespace
 
 SystemSimulator::SystemSimulator(SystemParams params,
@@ -74,6 +88,7 @@ SystemSimulator::SystemSimulator(SystemParams params,
                       static_cast<double>(n)};
     workloads_.emplace_back(w);
   }
+  last_good_sensor_.assign(n, 0.0);
 }
 
 const Core& SystemSimulator::core(std::size_t i) const {
@@ -96,8 +111,26 @@ void SystemSimulator::step() {
   std::vector<CoreObservation> obs(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double noise = rng_.normal(0.0, params_.sensor_noise.value());
-    obs[i].sensed_dvth =
-        Volts{std::max(0.0, cores_[i].delta_vth().value() + noise)};
+    double sensed = cores_[i].delta_vth().value() + noise;
+    if (fault::armed()) {
+      if (fault::should_inject("sensor.nan")) {
+        sensed = std::numeric_limits<double>::quiet_NaN();
+      } else if (fault::should_inject("sensor.outlier")) {
+        sensed = 10.0;  // V: orders of magnitude beyond any real shift
+      }
+    }
+    if (!std::isfinite(sensed) || std::abs(sensed) > kSensorSaneLimitV) {
+      // Graceful degradation: hold the last good reading for this core
+      // rather than feeding garbage into the policy's hysteresis.
+      static obs::Counter& rejected =
+          obs::registry().counter("sensor.rejected");
+      rejected.add();
+      sensed = last_good_sensor_[i];
+    } else {
+      sensed = std::max(0.0, sensed);
+      last_good_sensor_[i] = sensed;
+    }
+    obs[i].sensed_dvth = Volts{sensed};
     obs[i].temperature = thermal_.temperature(i);
     obs[i].demanded_utilization = demand[i];
   }
@@ -241,8 +274,128 @@ void SystemSimulator::run(Seconds lifetime) {
   // from rounding up on floating-point noise in the division.
   const auto target = static_cast<std::size_t>(
       std::ceil(lifetime.value() / params_.quantum.value() - 1e-9));
+  // Opt-in periodic checkpointing. Read per run() call (not cached) so a
+  // harness can set the variables between runs.
+  std::string ckpt_path;
+  std::size_t every = 0;
+  const char* dir = std::getenv("DH_CKPT_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    every = 64;
+    if (const char* e = std::getenv("DH_CKPT_EVERY");
+        e != nullptr && e[0] != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(e, &end, 10);
+      if (end == e || *end != '\0' || v == 0) {
+        throw Error(std::string("DH_CKPT_EVERY='") + e +
+                    "' must be a positive integer (quanta per checkpoint)");
+      }
+      every = static_cast<std::size_t>(v);
+    }
+    // Seed-qualified name so concurrent population members never collide.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best-effort; write errors
+                                                   // surface with the path
+    ckpt_path = std::string(dir) + "/sim_seed" +
+                std::to_string(params_.seed) + ".dhck";
+    if (steps_ == 0 && ckpt::snapshot_valid(ckpt_path, "system_sim")) {
+      load_checkpoint(ckpt_path);
+    }
+  }
   while (steps_ < target) {
     step();
+    if (every != 0 && steps_ % every == 0) {
+      save_checkpoint(ckpt_path);
+    }
+  }
+}
+
+void SystemSimulator::save_state(ckpt::Serializer& s) const {
+  s.begin_section("SSIM");
+  // Configuration digest: enough to refuse a snapshot produced by a
+  // different simulator before any state is disturbed.
+  s.write_u64(params_.rows);
+  s.write_u64(params_.cols);
+  s.write_f64(params_.quantum.value());
+  s.write_u64(params_.seed);
+  s.write_string(policy_->name());
+  // Scalar accumulators.
+  s.write_f64(demanded_acc_);
+  s.write_f64(delivered_acc_);
+  s.write_f64(energy_j_);
+  s.write_f64(temp_acc_);
+  s.write_f64(guardband_);
+  s.write_f64(first_failure_s_);
+  s.write_u64(steps_);
+  s.write_u64(recovery_quanta_);
+  s.write_bool(was_recovering_);
+  s.write_f64_vec(last_good_sensor_);
+  ckpt::save_engine(s, rng_.engine());
+  for (const Core& c : cores_) c.save_state(s);
+  for (const Workload& w : workloads_) w.save_state(s);
+  policy_->save_state(s);
+  thermal_.save_state(s);
+  pdn_.save_state(s);
+  degradation_trace_.save_state(s);
+  ir_drop_trace_.save_state(s);
+  temperature_trace_.save_state(s);
+}
+
+void SystemSimulator::load_state(ckpt::Deserializer& d) {
+  d.expect_section("SSIM");
+  const auto mismatch = [](const std::string& what) {
+    throw Error("checkpoint was created by a different simulator "
+                "configuration: " +
+                what + " differs — refusing to restore");
+  };
+  if (d.read_u64() != params_.rows) mismatch("core-grid rows");
+  if (d.read_u64() != params_.cols) mismatch("core-grid cols");
+  if (d.read_f64() != params_.quantum.value()) mismatch("quantum");
+  if (d.read_u64() != params_.seed) mismatch("seed");
+  if (d.read_string() != policy_->name()) mismatch("policy");
+  demanded_acc_ = d.read_f64();
+  delivered_acc_ = d.read_f64();
+  energy_j_ = d.read_f64();
+  temp_acc_ = d.read_f64();
+  guardband_ = d.read_f64();
+  first_failure_s_ = d.read_f64();
+  steps_ = static_cast<std::size_t>(d.read_u64());
+  recovery_quanta_ = static_cast<std::size_t>(d.read_u64());
+  was_recovering_ = d.read_bool();
+  now_s_ = static_cast<double>(steps_) * params_.quantum.value();
+  last_good_sensor_ = d.read_f64_vec();
+  DH_REQUIRE(last_good_sensor_.size() == cores_.size(),
+             "checkpoint sensor-state length does not match core count");
+  ckpt::load_engine(d, rng_.engine());
+  for (Core& c : cores_) c.load_state(d);
+  for (Workload& w : workloads_) w.load_state(d);
+  policy_->load_state(d);
+  thermal_.load_state(d);
+  pdn_.load_state(d);
+  degradation_trace_.load_state(d);
+  ir_drop_trace_.load_state(d);
+  temperature_trace_.load_state(d);
+}
+
+void SystemSimulator::save_checkpoint(const std::string& path) const {
+  ckpt::Serializer s;
+  save_state(s);
+  ckpt::write_snapshot(path, "system_sim", s.buffer());
+}
+
+void SystemSimulator::load_checkpoint(const std::string& path) {
+  ckpt::Deserializer d{ckpt::read_snapshot(path, "system_sim")};
+  load_state(d);
+  if (!d.exhausted()) {
+    throw Error("checkpoint '" + path + "' has " +
+                std::to_string(d.remaining()) +
+                " trailing byte(s) after the simulator state — snapshot "
+                "and build disagree on the layout");
+  }
+  static obs::Counter& resumes = obs::registry().counter("sim.resume");
+  resumes.add();
+  if (obs::trace_enabled()) {
+    obs::trace_event_at("sim", "resume", now_s_,
+                        {{"steps", static_cast<double>(steps_)}});
   }
 }
 

@@ -67,8 +67,32 @@ class SystemSimulator {
   /// Advance one scheduling quantum.
   void step();
 
-  /// Run until `lifetime` has elapsed.
+  /// Run until `lifetime` has elapsed. When the DH_CKPT_DIR environment
+  /// variable names a directory, the run checkpoints itself there every
+  /// DH_CKPT_EVERY quanta (default 64) under
+  /// `<dir>/sim_seed<seed>.dhck`, and — if a valid checkpoint for this
+  /// configuration already exists and no steps have run yet — resumes
+  /// from it bit-identically, so a killed run loses at most one
+  /// checkpoint interval.
   void run(Seconds lifetime);
+
+  /// Checkpoint support: serialize the complete mutable state (cores,
+  /// workloads, thermal grid, PDN wire states, RNG stream, accumulators,
+  /// traces, policy state, and solver-cache state) such that
+  /// load_state + run(T') is bit-identical to an uninterrupted run(T+T').
+  void save_state(ckpt::Serializer& s) const;
+  /// Restore from save_state output. Throws dh::Error when the snapshot
+  /// was produced by a simulator with different parameters (grid size,
+  /// quantum, seed, policy).
+  void load_state(ckpt::Deserializer& d);
+
+  /// Atomic whole-file checkpoint (snapshot container, kind
+  /// "system_sim") — see ckpt::write_snapshot for the format guarantees.
+  void save_checkpoint(const std::string& path) const;
+  /// Restore from a checkpoint file; validates magic, version, kind, and
+  /// CRC before any state is touched. Increments the `sim.resume`
+  /// counter.
+  void load_checkpoint(const std::string& path);
 
   [[nodiscard]] Seconds now() const { return Seconds{now_s_}; }
   [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
@@ -118,6 +142,10 @@ class SystemSimulator {
   bool was_recovering_ = false;  // edge detector for recovery_enter events
   double guardband_ = 0.0;
   double first_failure_s_ = -1.0;
+  /// Last accepted per-core sensor reading — the substitute when a read
+  /// comes back non-finite or absurd (fault sites sensor.nan /
+  /// sensor.outlier, or a genuinely broken sensor).
+  std::vector<double> last_good_sensor_;
   TimeSeries degradation_trace_{"max_degradation", "frac"};
   TimeSeries ir_drop_trace_{"worst_ir_drop", "V"};
   TimeSeries temperature_trace_{"max_temp", "C"};

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 
 namespace dh::sched {
@@ -37,6 +38,16 @@ double Workload::sample(Seconds now, Rng& rng) {
     }
   }
   return params_.utilization;
+}
+
+void Workload::save_state(ckpt::Serializer& s) const {
+  s.begin_section("WKLD");
+  s.write_bool(burst_on_);
+}
+
+void Workload::load_state(ckpt::Deserializer& d) {
+  d.expect_section("WKLD");
+  burst_on_ = d.read_bool();
 }
 
 }  // namespace dh::sched

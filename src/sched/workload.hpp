@@ -8,6 +8,11 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
+namespace dh::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace dh::ckpt
+
 namespace dh::sched {
 
 enum class WorkloadKind {
@@ -34,6 +39,10 @@ class Workload {
   [[nodiscard]] double sample(Seconds now, Rng& rng);
 
   [[nodiscard]] const WorkloadParams& params() const { return params_; }
+
+  /// Checkpoint support: the Markov burst flag is the only mutable state.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   WorkloadParams params_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 #include "common/obs/metrics.hpp"
 
@@ -131,6 +132,51 @@ Celsius ThermalGrid::temperature(std::size_t tile) const {
 Celsius ThermalGrid::max_temperature() const {
   const double m = *std::max_element(temp_rise_.begin(), temp_rise_.end());
   return Celsius{params_.ambient.value() + m};
+}
+
+void ThermalGrid::save_state(ckpt::Serializer& s) const {
+  s.begin_section("THRM");
+  s.write_f64_vec(power_);
+  s.write_f64_vec(temp_rise_);
+  s.write_bool(steady_->cg_rescue_built());
+  // Transient cache keys, oldest first, so a load that re-inserts each at
+  // the MRU front reproduces the exact cache order.
+  s.write_u64(transient_.size());
+  for (std::size_t i = transient_.size(); i > 0; --i) {
+    s.write_f64(transient_[i - 1].first);
+    s.write_bool(transient_[i - 1].second->cg_rescue_built());
+  }
+  s.write_u64(stats_.steady_solves);
+  s.write_u64(stats_.transient_steps);
+  s.write_u64(stats_.factorizations);
+  s.write_u64(stats_.transient_cache_hits);
+}
+
+void ThermalGrid::load_state(ckpt::Deserializer& d) {
+  d.expect_section("THRM");
+  std::vector<double> power = d.read_f64_vec();
+  std::vector<double> temp_rise = d.read_f64_vec();
+  DH_REQUIRE(power.size() == tile_count() && temp_rise.size() == tile_count(),
+             "thermal snapshot tile count does not match this grid");
+  power_ = std::move(power);
+  temp_rise_ = std::move(temp_rise);
+  if (d.read_bool()) steady_->build_cg_rescue();
+  transient_.clear();
+  const std::uint64_t cached = d.read_u64();
+  DH_REQUIRE(cached <= kMaxTransientFactors,
+             "thermal snapshot transient cache exceeds the MRU capacity");
+  for (std::uint64_t i = 0; i < cached; ++i) {
+    const double dt = d.read_f64();
+    const bool rescue = d.read_bool();
+    const math::sparse::SpdSolver& solver = transient_solver(dt);
+    if (rescue) solver.build_cg_rescue();
+  }
+  // The rebuild above bumped the counters; the snapshot values (matching
+  // the uninterrupted run) win.
+  stats_.steady_solves = static_cast<std::size_t>(d.read_u64());
+  stats_.transient_steps = static_cast<std::size_t>(d.read_u64());
+  stats_.factorizations = static_cast<std::size_t>(d.read_u64());
+  stats_.transient_cache_hits = static_cast<std::size_t>(d.read_u64());
 }
 
 Celsius ThermalGrid::mean_temperature() const {

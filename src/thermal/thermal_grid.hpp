@@ -16,6 +16,11 @@
 #include "common/math/sparse/spd_solver.hpp"
 #include "common/units.hpp"
 
+namespace dh::ckpt {
+class Serializer;
+class Deserializer;
+}  // namespace dh::ckpt
+
 namespace dh::thermal {
 
 struct ThermalGridParams {
@@ -77,6 +82,14 @@ class ThermalGrid {
   }
   /// Engine the steady solver runs on (kDenseLu = breakdown fallback).
   [[nodiscard]] math::sparse::SpdMethod solver_method() const;
+
+  /// Checkpoint support. Saves the power map, temperature field, solve
+  /// counters, and the transient cache's dt keys (+ rescue flags);
+  /// load_state deterministically rebuilds the cached factorizations in
+  /// the same MRU order so a restored grid takes the same solve paths as
+  /// an uninterrupted one, then restores the counters.
+  void save_state(ckpt::Serializer& s) const;
+  void load_state(ckpt::Deserializer& d);
 
  private:
   /// Most distinct dt factorizations kept; LRU beyond that.

@@ -1,0 +1,304 @@
+// Checkpoint/restore property tests at the system level: save → restore
+// → run(T') must be bit-identical to an uninterrupted run(T+T') — for a
+// single simulator and for population sweeps, at 1, 4, and 8 threads —
+// and any snapshot that does not match this build/configuration must be
+// refused with a descriptive dh::Error before state is touched.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/ckpt/serialize.hpp"
+#include "common/ckpt/snapshot.hpp"
+#include "common/error.hpp"
+#include "common/obs/metrics.hpp"
+#include "common/parallel.hpp"
+#include "sched/population.hpp"
+#include "sched/system_sim.hpp"
+
+namespace dh::sched {
+namespace {
+
+namespace fs = std::filesystem;
+
+SystemParams small_chip(std::uint64_t seed = 7) {
+  SystemParams p;
+  p.rows = 2;
+  p.cols = 2;
+  p.quantum = hours(6.0);
+  p.seed = seed;
+  return p;
+}
+
+/// The adaptive policy carries per-core hysteresis state, so it exercises
+/// the policy save/load path (the scheduled policies are stateless).
+std::unique_ptr<RecoveryPolicy> adaptive() {
+  return make_adaptive_sensor_policy({.threshold = Volts{0.004},
+                                      .release = Volts{0.002},
+                                      .em_recovery_duty = 0.2});
+}
+
+void expect_bit_identical(const SystemSummary& a, const SystemSummary& b) {
+  EXPECT_EQ(a.guardband_fraction, b.guardband_fraction);
+  EXPECT_EQ(a.final_degradation, b.final_degradation);
+  EXPECT_EQ(a.time_to_failure.value(), b.time_to_failure.value());
+  EXPECT_EQ(a.mean_throughput, b.mean_throughput);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.mean_temperature_c, b.mean_temperature_c);
+  EXPECT_EQ(a.recovery_quanta, b.recovery_quanta);
+  EXPECT_EQ(a.pdn_stats.worst_drop_v, b.pdn_stats.worst_drop_v);
+  EXPECT_EQ(a.pdn_stats.max_void_len_m, b.pdn_stats.max_void_len_m);
+  EXPECT_EQ(a.pdn_stats.nucleated_segments, b.pdn_stats.nucleated_segments);
+  EXPECT_EQ(a.pdn_stats.broken_segments, b.pdn_stats.broken_segments);
+}
+
+void expect_traces_identical(const SystemSimulator& a,
+                             const SystemSimulator& b) {
+  EXPECT_EQ(a.degradation_trace().raw_times(),
+            b.degradation_trace().raw_times());
+  EXPECT_EQ(a.degradation_trace().raw_values(),
+            b.degradation_trace().raw_values());
+  EXPECT_EQ(a.ir_drop_trace().raw_values(), b.ir_drop_trace().raw_values());
+  EXPECT_EQ(a.temperature_trace().raw_values(),
+            b.temperature_trace().raw_values());
+}
+
+/// Scratch directory fixture (same pattern as tests/common/test_ckpt.cpp).
+class CkptSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dh_ckpt_sys_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    unsetenv("DH_CKPT_DIR");
+    unsetenv("DH_CKPT_EVERY");
+    set_global_thread_count(0);  // back to the default pool
+    fs::remove_all(dir_);
+  }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CkptSystemTest, ResumeIsBitIdenticalAcrossThreadCounts) {
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    set_global_thread_count(threads);
+
+    SystemSimulator reference{small_chip(), adaptive()};
+    reference.run(days(60.0));
+
+    SystemSimulator first_half{small_chip(), adaptive()};
+    first_half.run(days(30.0));
+    ckpt::Serializer s;
+    first_half.save_state(s);
+
+    SystemSimulator resumed{small_chip(), adaptive()};
+    ckpt::Deserializer d{s.take()};
+    resumed.load_state(d);
+    EXPECT_TRUE(d.exhausted());
+    EXPECT_EQ(resumed.now().value(), first_half.now().value());
+    resumed.run(days(60.0));
+
+    expect_bit_identical(reference.summary(), resumed.summary());
+    expect_traces_identical(reference, resumed);
+  }
+}
+
+TEST_F(CkptSystemTest, CheckpointFileRoundTrip) {
+  SystemSimulator reference{small_chip(), adaptive()};
+  reference.run(days(40.0));
+
+  SystemSimulator first_half{small_chip(), adaptive()};
+  first_half.run(days(20.0));
+  first_half.save_checkpoint(path("half.dhck"));
+
+  SystemSimulator resumed{small_chip(), adaptive()};
+  resumed.load_checkpoint(path("half.dhck"));
+  resumed.run(days(40.0));
+  expect_bit_identical(reference.summary(), resumed.summary());
+}
+
+TEST_F(CkptSystemTest, ResumeCounterTicksOnRestore) {
+  obs::Counter& resumes = obs::registry().counter("sim.resume");
+  const std::uint64_t before = resumes.value();
+  SystemSimulator sim{small_chip(), adaptive()};
+  sim.run(days(10.0));
+  sim.save_checkpoint(path("c.dhck"));
+  SystemSimulator other{small_chip(), adaptive()};
+  other.load_checkpoint(path("c.dhck"));
+  EXPECT_EQ(resumes.value(), before + 1);
+}
+
+TEST_F(CkptSystemTest, ForeignConfigurationRefused) {
+  SystemSimulator sim{small_chip(), adaptive()};
+  sim.run(days(10.0));
+  sim.save_checkpoint(path("c.dhck"));
+
+  SystemParams other = small_chip();
+  other.rows = 3;
+  other.cols = 3;
+  SystemSimulator victim{other, adaptive()};
+  try {
+    victim.load_checkpoint(path("c.dhck"));
+    FAIL() << "expected dh::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("different simulator configuration"),
+              std::string::npos);
+  }
+}
+
+TEST_F(CkptSystemTest, DifferentSeedRefused) {
+  SystemSimulator sim{small_chip(7), adaptive()};
+  sim.run(days(10.0));
+  sim.save_checkpoint(path("c.dhck"));
+  SystemSimulator victim{small_chip(8), adaptive()};
+  EXPECT_THROW(victim.load_checkpoint(path("c.dhck")), Error);
+}
+
+TEST_F(CkptSystemTest, TrailingBytesRefused) {
+  SystemSimulator sim{small_chip(), adaptive()};
+  sim.run(days(10.0));
+  ckpt::Serializer s;
+  sim.save_state(s);
+  auto payload = s.take();
+  payload.push_back(0xFF);  // one byte past the simulator state
+  ckpt::write_snapshot(path("c.dhck"), "system_sim", payload);
+  SystemSimulator victim{small_chip(), adaptive()};
+  try {
+    victim.load_checkpoint(path("c.dhck"));
+    FAIL() << "expected dh::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
+}
+
+TEST_F(CkptSystemTest, EnvDrivenCheckpointingResumesKilledRun) {
+  setenv("DH_CKPT_DIR", dir_.string().c_str(), 1);
+  setenv("DH_CKPT_EVERY", "16", 1);
+
+  // "Killed" run: stops at 30 of 60 days, leaving its periodic
+  // checkpoint behind (120 steps, a multiple of 16 is at step 112 —
+  // losing at most one interval is the contract, so the resumed run
+  // recomputes the tail from the last checkpoint).
+  {
+    SystemSimulator interrupted{small_chip(), adaptive()};
+    interrupted.run(days(30.0));
+  }
+  EXPECT_TRUE(ckpt::snapshot_valid(path("sim_seed7.dhck"), "system_sim"));
+
+  // Fresh process stand-in: a new simulator auto-resumes from the
+  // checkpoint directory and finishes the lifetime.
+  SystemSimulator resumed{small_chip(), adaptive()};
+  resumed.run(days(60.0));
+
+  unsetenv("DH_CKPT_DIR");
+  unsetenv("DH_CKPT_EVERY");
+  SystemSimulator reference{small_chip(), adaptive()};
+  reference.run(days(60.0));
+
+  expect_bit_identical(reference.summary(), resumed.summary());
+  expect_traces_identical(reference, resumed);
+}
+
+TEST_F(CkptSystemTest, MalformedCkptEveryRejected) {
+  setenv("DH_CKPT_DIR", dir_.string().c_str(), 1);
+  setenv("DH_CKPT_EVERY", "zero", 1);
+  SystemSimulator sim{small_chip(), adaptive()};
+  EXPECT_THROW(sim.run(days(1.0)), Error);
+}
+
+TEST_F(CkptSystemTest, PopulationResumeMatchesFreshSweep) {
+  const auto factory = [](std::size_t) { return adaptive(); };
+  const SystemParams base = small_chip(21);
+  constexpr std::size_t kCount = 6;
+  const Seconds lifetime = days(20.0);
+
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    set_global_thread_count(threads);
+    const fs::path sweep = dir_ / ("sweep_t" + std::to_string(threads));
+    fs::create_directories(sweep);
+
+    const auto plain = run_population(base, kCount, lifetime, factory);
+    const auto fresh =
+        run_population(base, kCount, lifetime, factory, sweep.string());
+    ASSERT_EQ(plain.size(), fresh.size());
+    for (std::size_t i = 0; i < kCount; ++i) {
+      expect_bit_identical(plain[i], fresh[i]);
+    }
+
+    // Completion bitmap: everything done.
+    for (const bool done : population_completion(sweep.string(), kCount)) {
+      EXPECT_TRUE(done);
+    }
+
+    // Second run resumes every member from disk, bit-identically.
+    obs::Counter& resumed_ctr =
+        obs::registry().counter("population.resumed");
+    const std::uint64_t before = resumed_ctr.value();
+    const auto resumed =
+        run_population(base, kCount, lifetime, factory, sweep.string());
+    EXPECT_EQ(resumed_ctr.value() - before, kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      expect_bit_identical(plain[i], resumed[i]);
+    }
+  }
+}
+
+TEST_F(CkptSystemTest, PopulationRecomputesMissingAndCorruptMembers) {
+  const auto factory = [](std::size_t) { return adaptive(); };
+  const SystemParams base = small_chip(22);
+  constexpr std::size_t kCount = 4;
+  const Seconds lifetime = days(20.0);
+
+  const auto first =
+      run_population(base, kCount, lifetime, factory, dir_.string());
+
+  // Simulate a crash that lost one member and corrupted another.
+  fs::remove(dir_ / "member_1.dhck");
+  { std::ofstream(dir_ / "member_2.dhck") << "garbage"; }
+  const auto done = population_completion(dir_.string(), kCount);
+  EXPECT_TRUE(done[0]);
+  EXPECT_FALSE(done[1]);
+  EXPECT_FALSE(done[2]);
+  EXPECT_TRUE(done[3]);
+
+  const auto second =
+      run_population(base, kCount, lifetime, factory, dir_.string());
+  for (std::size_t i = 0; i < kCount; ++i) {
+    expect_bit_identical(first[i], second[i]);
+  }
+}
+
+TEST_F(CkptSystemTest, PopulationManifestGuardsAgainstSweepMixing) {
+  const auto factory = [](std::size_t) { return adaptive(); };
+  const SystemParams base = small_chip(23);
+  (void)run_population(base, 2, days(10.0), factory, dir_.string());
+
+  // Different member count, lifetime, or base seed → refuse the directory.
+  EXPECT_THROW(
+      (void)run_population(base, 3, days(10.0), factory, dir_.string()),
+      Error);
+  EXPECT_THROW(
+      (void)run_population(base, 2, days(11.0), factory, dir_.string()),
+      Error);
+  SystemParams other = base;
+  other.seed = 99;
+  EXPECT_THROW(
+      (void)run_population(other, 2, days(10.0), factory, dir_.string()),
+      Error);
+}
+
+}  // namespace
+}  // namespace dh::sched

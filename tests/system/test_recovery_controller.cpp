@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/ckpt/serialize.hpp"
 #include "common/error.hpp"
 
 namespace dh::core {
@@ -87,6 +88,127 @@ TEST(RecoveryController, InvalidFractionRejected) {
   RecoveryControllerParams p;
   p.bti.recovery_fraction = 1.0;
   EXPECT_THROW(RecoveryController{p}, dh::Error);
+}
+
+// --- Quantum-splitting regressions -----------------------------------
+//
+// The point-rule decide(now) used to classify an entire quantum by its
+// start instant, so a coarse quantum entering a recovery window near its
+// end was wholly booked as Normal and schedules under-delivered their
+// planned duty. decide_slices/decide(now, dt) must reproduce the analytic
+// duty exactly.
+
+TEST(RecoveryController, SlicesReproduceAnalyticOneToOneDutyCycle) {
+  // 1h:1h BTI duty cycle: period 2h, recovery fraction 0.5, so the
+  // window is the second hour of every period. Committing slice-by-slice
+  // over any horizon must account exactly half the time to recovery —
+  // the analytic figure — even with quanta as coarse as the period.
+  RecoveryControllerParams p;
+  p.bti.period = hours(2.0);
+  p.bti.recovery_fraction = 0.5;
+  RecoveryController rc{p};
+  constexpr int kQuanta = 12;
+  for (int q = 0; q < kQuanta; ++q) {
+    double covered = 0.0;
+    for (const ModeSlice& s :
+         rc.decide_slices(hours(2.0 * q), hours(2.0), false)) {
+      rc.commit(s.mode, s.duration);
+      covered += s.duration.value();
+    }
+    EXPECT_NEAR(covered, hours(2.0).value(), 1e-6);  // slices cover dt
+  }
+  const auto& acc = rc.accounting();
+  EXPECT_NEAR(in_hours(acc.bti_recovery), kQuanta * 1.0, 1e-9);
+  EXPECT_NEAR(in_hours(acc.normal), kQuanta * 1.0, 1e-9);
+}
+
+TEST(RecoveryController, DominantOverlapClassifiesStraddlingQuantum) {
+  RecoveryControllerParams p;
+  p.bti.period = hours(2.0);
+  p.bti.recovery_fraction = 0.5;  // window [1h, 2h) of each period
+  RecoveryController rc{p};
+  // Quantum [0.9h, 2.1h): 1.0h inside the window, 0.2h outside. The old
+  // start-instant rule said Normal; dominant overlap says BTI recovery.
+  EXPECT_EQ(rc.decide(hours(0.9), false), circuit::AssistMode::kNormal);
+  EXPECT_EQ(rc.decide(hours(0.9), hours(1.2), false),
+            circuit::AssistMode::kBtiActiveRecovery);
+  // Quantum [0.0h, 1.1h): 1.0h normal, 0.1h recovery — Normal dominates.
+  EXPECT_EQ(rc.decide(hours(0.0), hours(1.1), false),
+            circuit::AssistMode::kNormal);
+}
+
+TEST(RecoveryController, SlicesCutAtEmBoundariesToo) {
+  RecoveryController rc{scheduled()};  // EM: 2h forward + 0.5h reverse
+  // Quantum [1.5h, 3.0h) straddles the reverse window [2.0h, 2.5h).
+  const auto slices = rc.decide_slices(hours(1.5), hours(1.5), false);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].mode, circuit::AssistMode::kNormal);
+  EXPECT_NEAR(in_hours(slices[0].duration), 0.5, 1e-9);
+  EXPECT_EQ(slices[1].mode, circuit::AssistMode::kEmActiveRecovery);
+  EXPECT_NEAR(in_hours(slices[1].duration), 0.5, 1e-9);
+  EXPECT_EQ(slices[2].mode, circuit::AssistMode::kNormal);
+  EXPECT_NEAR(in_hours(slices[2].duration), 0.5, 1e-9);
+}
+
+// --- Scheduled-EM vs opportunistic-BTI precedence regression ---------
+//
+// Opportunistic idle-time BTI healing used to shadow the scheduled EM
+// reverse window: an idle-heavy workload kept the controller in BTI mode
+// through the EM duty slots and the line never saw its reverse current.
+
+TEST(RecoveryController, ScheduledEmWindowNotShadowedByIdleBti) {
+  RecoveryController rc{scheduled()};  // EM cycle: 2h forward + 0.5h rev
+  // Sweep one full EM cycle with the load idle throughout. Forward
+  // window: idle time is used for opportunistic BTI healing. Reverse
+  // window: the scheduled EM duty must win.
+  for (double h = 0.05; h < 2.0; h += 0.1) {
+    EXPECT_EQ(rc.decide(hours(h), true),
+              circuit::AssistMode::kBtiActiveRecovery)
+        << "at " << h << "h (forward window)";
+  }
+  for (double h = 2.05; h < 2.5; h += 0.1) {
+    EXPECT_EQ(rc.decide(hours(h), true),
+              circuit::AssistMode::kEmActiveRecovery)
+        << "at " << h << "h (reverse window)";
+  }
+  // Next cycle's forward window: opportunistic BTI again.
+  EXPECT_EQ(rc.decide(hours(2.6), true),
+            circuit::AssistMode::kBtiActiveRecovery);
+}
+
+TEST(RecoveryController, ScheduledBtiWindowOutranksEverything) {
+  RecoveryController rc{scheduled()};
+  // 9.6h sits inside both the BTI window [8h, 10h) and an EM reverse
+  // slot [9.5h, 10h) (EM cycle 2.5h). The BTI window outranks the EM
+  // duty and any idle opportunity.
+  EXPECT_EQ(rc.decide(hours(9.6), false),
+            circuit::AssistMode::kBtiActiveRecovery);
+  EXPECT_EQ(rc.decide(hours(9.6), true),
+            circuit::AssistMode::kBtiActiveRecovery);
+}
+
+TEST(RecoveryController, SaveLoadRoundTripsAccounting) {
+  RecoveryController a{scheduled()};
+  a.commit(circuit::AssistMode::kNormal, hours(3.0));
+  a.commit(circuit::AssistMode::kEmActiveRecovery, hours(1.0));
+  a.commit(circuit::AssistMode::kBtiActiveRecovery, hours(2.0));
+  ckpt::Serializer s;
+  a.save_state(s);
+
+  RecoveryController b{scheduled()};
+  ckpt::Deserializer d{s.take()};
+  b.load_state(d);
+  EXPECT_TRUE(d.exhausted());
+  EXPECT_EQ(in_hours(b.accounting().normal), in_hours(a.accounting().normal));
+  EXPECT_EQ(in_hours(b.accounting().em_recovery),
+            in_hours(a.accounting().em_recovery));
+  EXPECT_EQ(in_hours(b.accounting().bti_recovery),
+            in_hours(a.accounting().bti_recovery));
+  EXPECT_EQ(b.accounting().mode_switches, a.accounting().mode_switches);
+  // The mode-switch edge detector must survive too: committing the same
+  // mode next must not count a spurious switch.
+  b.commit(circuit::AssistMode::kBtiActiveRecovery, hours(1.0));
+  EXPECT_EQ(b.accounting().mode_switches, a.accounting().mode_switches);
 }
 
 }  // namespace

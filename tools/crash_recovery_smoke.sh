@@ -1,0 +1,51 @@
+#!/bin/sh
+# Crash-recovery smoke test (registered with ctest, label `ckpt`).
+#
+# Establishes the end-to-end checkpoint contract at the process level:
+#   1. an uninterrupted run prints its bit-exact digest line,
+#   2. a second run is SIGKILLed mid-flight (no flushes, no atexit),
+#   3. ckpt_inspect must validate every snapshot the dead run left,
+#   4. re-running the killed command must resume from the surviving
+#      checkpoint and print the SAME digest as the uninterrupted run.
+#
+# usage: crash_recovery_smoke.sh <fig12_system_schedule> <ckpt_inspect> <scratch_dir>
+set -eu
+
+BIN="$1"
+INSPECT="$2"
+SCRATCH="$3"
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH/ref" "$SCRATCH/crash"
+
+echo "== reference run (uninterrupted) =="
+REF_DIGEST=$("$BIN" --ckpt-demo "$SCRATCH/ref" | grep CKPT_DEMO_DIGEST)
+echo "$REF_DIGEST"
+
+echo "== crash run (SIGKILL after 200 quanta) =="
+set +e
+"$BIN" --ckpt-demo "$SCRATCH/crash" --kill-after-steps 200
+status=$?
+set -e
+# 128 + SIGKILL(9) = 137: the process must die by the signal, not exit.
+if [ "$status" -ne 137 ]; then
+    echo "FAIL: expected the crash run to die with SIGKILL (status 137), got $status"
+    exit 1
+fi
+
+echo "== inspecting snapshots left by the dead process =="
+"$INSPECT" "$SCRATCH"/crash/*.dhck
+
+echo "== resumed run =="
+RESUME_DIGEST=$("$BIN" --ckpt-demo "$SCRATCH/crash" | grep CKPT_DEMO_DIGEST)
+echo "$RESUME_DIGEST"
+
+if [ "$REF_DIGEST" != "$RESUME_DIGEST" ]; then
+    echo "FAIL: resumed digest differs from uninterrupted reference"
+    echo "  reference: $REF_DIGEST"
+    echo "  resumed:   $RESUME_DIGEST"
+    exit 1
+fi
+
+rm -rf "$SCRATCH"
+echo "PASS: resume after SIGKILL is bit-identical to the uninterrupted run"
